@@ -1,0 +1,128 @@
+package dynspread_test
+
+// One benchmark per paper artifact (table/figure/theorem bound), backed by
+// the same experiment harness that regenerates EXPERIMENTS.md, plus
+// micro-benchmarks of the individual algorithms. Each experiment bench
+// reports rows/op so regressions in coverage are visible alongside time.
+//
+// Run everything:  go test -bench=. -benchmem
+// One experiment:  go test -bench=BenchmarkE6 -benchmem
+
+import (
+	"testing"
+
+	"dynspread"
+	"dynspread/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	var runner experiments.Runner
+	for _, r := range experiments.All() {
+		if r.ID == id {
+			runner = r
+			break
+		}
+	}
+	if runner.Run == nil {
+		b.Fatalf("experiment %s not found", id)
+	}
+	cfg := experiments.Config{Quick: true, Seed: 42}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb, err := runner.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(tb.Rows)), "rows/op")
+	}
+}
+
+// BenchmarkE1LowerBoundLocalBroadcast regenerates Theorem 2.3's table:
+// amortized local broadcasts of flooding vs the free-edge adversary.
+func BenchmarkE1LowerBoundLocalBroadcast(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkE2FreeGraphStructure regenerates Figure 1 / Lemmas 2.1-2.2:
+// free-graph component structure and sparse-round stalls.
+func BenchmarkE2FreeGraphStructure(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkE3SingleSourceMessages regenerates Theorem 3.1's table:
+// 1-adversary-competitive message complexity of Algorithm 1.
+func BenchmarkE3SingleSourceMessages(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkE4SingleSourceRounds regenerates Theorem 3.4's table: O(nk)
+// rounds on 3-edge-stable churn.
+func BenchmarkE4SingleSourceRounds(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkE5MultiSource regenerates Theorems 3.5/3.6: the multi-source
+// s-sweep.
+func BenchmarkE5MultiSource(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkE6Table1Oblivious regenerates Table 1 / Theorem 3.8: Algorithm
+// 2's amortized messages vs k.
+func BenchmarkE6Table1Oblivious(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkE7RandomWalkVisits regenerates Lemma 3.7's visit-bound table.
+func BenchmarkE7RandomWalkVisits(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkE8StaticBaseline regenerates the introduction's static
+// spanning-tree baseline table.
+func BenchmarkE8StaticBaseline(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkE9PriorityAblation regenerates the request-priority ablation.
+func BenchmarkE9PriorityAblation(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkE10CenterSweep regenerates the center-density ablation.
+func BenchmarkE10CenterSweep(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkE11FutileRounds regenerates the Lemma 3.3 futile-round table.
+func BenchmarkE11FutileRounds(b *testing.B) { benchExperiment(b, "E11") }
+
+// BenchmarkE12Adaptivity regenerates the strong-vs-weak adversary table.
+func BenchmarkE12Adaptivity(b *testing.B) { benchExperiment(b, "E12") }
+
+// BenchmarkE13WalkCongestion regenerates the phase-1 congestion table.
+func BenchmarkE13WalkCongestion(b *testing.B) { benchExperiment(b, "E13") }
+
+// --- micro-benchmarks of single runs (time/op of one full dissemination) ---
+
+func benchRun(b *testing.B, cfg dynspread.Config) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		rep, err := dynspread.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Completed {
+			b.Fatal("incomplete")
+		}
+		b.ReportMetric(rep.Amortized, "msgs/token")
+		b.ReportMetric(float64(rep.Rounds), "rounds/op")
+	}
+}
+
+func BenchmarkRunSingleSourceChurn(b *testing.B) {
+	benchRun(b, dynspread.Config{N: 32, K: 32, Algorithm: dynspread.AlgSingleSource, Adversary: dynspread.AdvChurn})
+}
+
+func BenchmarkRunSingleSourceRequestCutter(b *testing.B) {
+	benchRun(b, dynspread.Config{N: 32, K: 32, Algorithm: dynspread.AlgSingleSource, Adversary: dynspread.AdvRequestCutter})
+}
+
+func BenchmarkRunMultiSourceChurn(b *testing.B) {
+	benchRun(b, dynspread.Config{N: 32, K: 32, Sources: 8, Algorithm: dynspread.AlgMultiSource, Adversary: dynspread.AdvChurn})
+}
+
+func BenchmarkRunObliviousRegular(b *testing.B) {
+	benchRun(b, dynspread.Config{N: 32, K: 32, Sources: 32, Algorithm: dynspread.AlgOblivious, Adversary: dynspread.AdvRegular})
+}
+
+func BenchmarkRunFloodingFreeEdge(b *testing.B) {
+	benchRun(b, dynspread.Config{N: 24, K: 24, Sources: 24, Algorithm: dynspread.AlgFlooding, Adversary: dynspread.AdvFreeEdge})
+}
+
+func BenchmarkRunSpanningTreeStatic(b *testing.B) {
+	benchRun(b, dynspread.Config{N: 32, K: 64, Algorithm: dynspread.AlgSpanningTree, Adversary: dynspread.AdvStatic})
+}

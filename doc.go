@@ -1,0 +1,32 @@
+// Package dynspread is a reproduction of "The Communication Cost of
+// Information Spreading in Dynamic Networks" (Ahmadi, Kuhn, Kutten, Molla,
+// Pandurangan — ICDCS 2019, arXiv:1806.09847): a simulation library for
+// studying the amortized message complexity of k-token dissemination in
+// adversarial dynamic networks with token-forwarding algorithms.
+//
+// The root package is a facade over the building blocks in internal/:
+//
+//   - a synchronous dynamic-graph engine with per-Definition-1.1 message
+//     accounting and per-Definition-1.3 topological-change accounting,
+//   - the paper's algorithms (flooding, Single-Source-Unicast = Algorithm 1,
+//     Multi-Source-Unicast, Oblivious-Multi-Source-Unicast = Algorithm 2,
+//     plus static baselines),
+//   - oblivious and strongly adaptive adversaries (including the Section 2
+//     free-edge lower-bound adversary), and
+//   - the experiment harness that regenerates every table and figure
+//     (see EXPERIMENTS.md).
+//
+// Quick start:
+//
+//	report, err := dynspread.Run(dynspread.Config{
+//		N: 32, K: 64, Sources: 1,
+//		Algorithm: dynspread.AlgSingleSource,
+//		Adversary: dynspread.AdvChurn,
+//		Seed:      1,
+//	})
+//	if err != nil { ... }
+//	fmt.Println(report.Metrics.Messages, report.Metrics.TC, report.Rounds)
+//
+// See the examples/ directory for runnable scenarios and cmd/ for the CLI
+// tools.
+package dynspread

@@ -1,0 +1,266 @@
+package dynspread
+
+import (
+	"fmt"
+
+	"dynspread/internal/adversary"
+	"dynspread/internal/core"
+	"dynspread/internal/graph"
+	"dynspread/internal/sim"
+	"dynspread/internal/token"
+)
+
+// Metrics re-exports the engine's communication-cost measures (messages per
+// Definition 1.1, TC(E) per Definition 1.3, token learnings, rounds).
+type Metrics = sim.Metrics
+
+// Algorithm selects one of the paper's token-forwarding algorithms.
+type Algorithm string
+
+// Available algorithms.
+const (
+	// AlgFlooding is the naive local-broadcast flooder (Section 1; the
+	// O(n²)-amortized upper bound matching Theorem 2.3's lower bound).
+	AlgFlooding Algorithm = "flooding"
+	// AlgRandomBroadcast broadcasts a random held token each round.
+	AlgRandomBroadcast Algorithm = "random-broadcast"
+	// AlgSingleSource is Algorithm 1 (Single-Source-Unicast, Theorem 3.1).
+	AlgSingleSource Algorithm = "single-source"
+	// AlgMultiSource is Multi-Source-Unicast (Section 3.2.1, Theorem 3.5).
+	AlgMultiSource Algorithm = "multi-source"
+	// AlgOblivious is Algorithm 2 (Oblivious-Multi-Source-Unicast,
+	// Theorem 3.8).
+	AlgOblivious Algorithm = "oblivious"
+	// AlgSpanningTree is the static-network baseline from the introduction.
+	AlgSpanningTree Algorithm = "spanning-tree"
+	// AlgTopkis is the second static baseline (Topkis [39]): every node
+	// pushes an unsent token to every neighbor every round — O(n+k) rounds
+	// but Θ(m(n+k)) messages.
+	AlgTopkis Algorithm = "topkis"
+)
+
+// Adversary selects the dynamic-network adversary.
+type Adversary string
+
+// Available adversaries.
+const (
+	// AdvStatic serves a fixed random connected graph.
+	AdvStatic Adversary = "static"
+	// AdvChurn is σ-edge-stable random churn (σ = Config.Sigma, default 3).
+	AdvChurn Adversary = "churn"
+	// AdvRewire draws a fresh random connected graph every round.
+	AdvRewire Adversary = "rewire"
+	// AdvMarkovian is the edge-Markovian evolving graph.
+	AdvMarkovian Adversary = "markovian"
+	// AdvRegular serves fresh random near-regular graphs (the oblivious
+	// substrate of Algorithm 2 and Lemma 3.7).
+	AdvRegular Adversary = "regular"
+	// AdvRotatingStar rotates a star center — the classic hard dynamic
+	// instance where Θ(n) edges change per rotation.
+	AdvRotatingStar Adversary = "rotating-star"
+	// AdvMobility is a wireless mobility model: unit-disk graphs of nodes
+	// drifting through an arena (the paper's ad-hoc motivation).
+	AdvMobility Adversary = "mobility"
+	// AdvRequestCutter is the strongly adaptive unicast adversary that cuts
+	// request-carrying edges (stresses Theorems 3.1/3.5).
+	AdvRequestCutter Adversary = "request-cutter"
+	// AdvFreeEdge is the Section 2 strongly adaptive local-broadcast
+	// lower-bound adversary (broadcast algorithms only).
+	AdvFreeEdge Adversary = "free-edge"
+)
+
+// Config describes one simulation.
+type Config struct {
+	// N is the number of nodes (>= 2) and K the number of tokens (>= 1).
+	N, K int
+	// Sources is the number of source nodes s: 1 = single source, N with
+	// K = N is n-gossip; tokens are distributed round-robin over sources
+	// 0..s-1. Defaults to 1.
+	Sources int
+	// Algorithm and Adversary select the protocol and the dynamic topology.
+	Algorithm Algorithm
+	Adversary Adversary
+	// Seed derives every random choice. Runs are reproducible given equal
+	// configs.
+	Seed int64
+	// MaxRounds caps the execution (0 = a generous default well above the
+	// paper's O(nk) bounds).
+	MaxRounds int
+	// Sigma is the edge-stability parameter for AdvChurn (default 3, the
+	// assumption of Theorems 3.4/3.6).
+	Sigma int
+	// Oblivious tunes Algorithm 2 (zero value = paper parameters).
+	Oblivious core.ObliviousOpts
+}
+
+// Report is the outcome of one simulation.
+type Report struct {
+	// Completed is true iff every node received every token.
+	Completed bool `json:"completed"`
+	// Rounds is the number of rounds executed.
+	Rounds int `json:"rounds"`
+	// Metrics holds the communication-cost measures.
+	Metrics Metrics `json:"metrics"`
+	// Amortized is Metrics.Messages / K, the paper's amortized message
+	// complexity per token.
+	Amortized float64 `json:"amortized_per_token"`
+	// CompetitiveResidual is Messages − 1·TC(E), the 1-adversary-competitive
+	// residual of Definition 1.3.
+	CompetitiveResidual float64 `json:"competitive_residual"`
+	// AdversaryName identifies the concrete adversary used.
+	AdversaryName string `json:"adversary"`
+}
+
+// Run executes one simulation described by cfg.
+func Run(cfg Config) (*Report, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("dynspread: need N >= 2, got %d", cfg.N)
+	}
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("dynspread: need K >= 1, got %d", cfg.K)
+	}
+	s := cfg.Sources
+	if s <= 0 {
+		s = 1
+	}
+	assign, err := token.Balanced(cfg.N, cfg.K, s)
+	if err != nil {
+		return nil, fmt.Errorf("dynspread: %w", err)
+	}
+
+	switch cfg.Algorithm {
+	case AlgFlooding, AlgRandomBroadcast:
+		return runBroadcast(cfg, assign)
+	case AlgSingleSource, AlgMultiSource, AlgOblivious, AlgSpanningTree, AlgTopkis, "":
+		return runUnicast(cfg, assign)
+	default:
+		return nil, fmt.Errorf("dynspread: unknown algorithm %q", cfg.Algorithm)
+	}
+}
+
+func runUnicast(cfg Config, assign *token.Assignment) (*Report, error) {
+	var factory sim.Factory
+	switch cfg.Algorithm {
+	case AlgSingleSource, "":
+		factory = core.NewSingleSource()
+	case AlgMultiSource:
+		factory = core.NewMultiSource()
+	case AlgOblivious:
+		opts := cfg.Oblivious
+		if opts.Seed == 0 {
+			opts.Seed = cfg.Seed + 1
+		}
+		factory = core.NewOblivious(opts)
+	case AlgSpanningTree:
+		factory = core.NewSpanningTree()
+	case AlgTopkis:
+		factory = core.NewTopkis()
+	default:
+		return nil, fmt.Errorf("dynspread: %q is not a unicast algorithm", cfg.Algorithm)
+	}
+	adv, err := buildUnicastAdversary(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.RunUnicast(sim.UnicastConfig{
+		Assign:    assign,
+		Factory:   factory,
+		Adversary: adv,
+		MaxRounds: cfg.MaxRounds,
+		Seed:      cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return report(res, cfg.K, adv.Name()), nil
+}
+
+func runBroadcast(cfg Config, assign *token.Assignment) (*Report, error) {
+	var factory sim.BroadcastFactory
+	switch cfg.Algorithm {
+	case AlgFlooding:
+		factory = core.NewFlooding(0)
+	case AlgRandomBroadcast:
+		factory = core.NewRandomBroadcast()
+	default:
+		return nil, fmt.Errorf("dynspread: %q is not a broadcast algorithm", cfg.Algorithm)
+	}
+	adv, err := buildBroadcastAdversary(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.RunBroadcast(sim.BroadcastConfig{
+		Assign:    assign,
+		Factory:   factory,
+		Adversary: adv,
+		MaxRounds: cfg.MaxRounds,
+		Seed:      cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return report(res, cfg.K, adv.Name()), nil
+}
+
+func report(res *sim.Result, k int, advName string) *Report {
+	return &Report{
+		Completed:           res.Completed,
+		Rounds:              res.Rounds,
+		Metrics:             res.Metrics,
+		Amortized:           res.Metrics.AmortizedPerToken(k),
+		CompetitiveResidual: res.Metrics.Competitive(1),
+		AdversaryName:       advName,
+	}
+}
+
+// buildSequence constructs the oblivious sequences shared by both modes.
+func buildSequence(cfg Config) (adversary.Sequence, error) {
+	switch cfg.Adversary {
+	case AdvStatic, "":
+		seed := cfg.Seed + 101
+		g := graph.RandomConnected(cfg.N, 2*cfg.N, newRand(seed))
+		return adversary.NewStatic(g), nil
+	case AdvChurn:
+		return adversary.NewChurn(cfg.N, adversary.ChurnOpts{Sigma: cfg.Sigma}, cfg.Seed+102)
+	case AdvRewire:
+		return adversary.NewRewire(cfg.N, 0, cfg.Seed+103)
+	case AdvMarkovian:
+		return adversary.NewMarkovian(cfg.N, 0.05, 0.2, cfg.Seed+104)
+	case AdvRegular:
+		return adversary.NewRegular(cfg.N, 6, cfg.Seed+105)
+	case AdvRotatingStar:
+		return adversary.NewRotatingStar(cfg.N, 2)
+	case AdvMobility:
+		return adversary.NewMobility(cfg.N, adversary.MobilityOpts{}, cfg.Seed+108)
+	default:
+		return nil, fmt.Errorf("dynspread: unknown oblivious adversary %q", cfg.Adversary)
+	}
+}
+
+func buildUnicastAdversary(cfg Config) (sim.Adversary, error) {
+	if cfg.Adversary == AdvRequestCutter {
+		return adversary.NewRequestCutter(cfg.N, 0, 0.6, cfg.Seed+106)
+	}
+	if cfg.Adversary == AdvFreeEdge {
+		return nil, fmt.Errorf("dynspread: free-edge adversary applies to broadcast algorithms only")
+	}
+	seq, err := buildSequence(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return adversary.Oblivious(seq), nil
+}
+
+func buildBroadcastAdversary(cfg Config) (sim.BroadcastAdversary, error) {
+	if cfg.Adversary == AdvFreeEdge {
+		return adversary.NewFreeEdge(true, 1, cfg.Seed+107), nil
+	}
+	if cfg.Adversary == AdvRequestCutter {
+		return nil, fmt.Errorf("dynspread: request-cutter applies to unicast algorithms only")
+	}
+	seq, err := buildSequence(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return adversary.ObliviousBroadcast(seq), nil
+}

@@ -1,0 +1,166 @@
+package dynspread
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleSourceChurn(t *testing.T) {
+	rep, err := Run(Config{
+		N: 16, K: 24, Sources: 1,
+		Algorithm: AlgSingleSource,
+		Adversary: AdvChurn,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed {
+		t.Fatalf("incomplete: %+v", rep)
+	}
+	if rep.Amortized <= 0 || rep.Metrics.Messages == 0 {
+		t.Fatalf("bad report: %+v", rep)
+	}
+	if rep.CompetitiveResidual != float64(rep.Metrics.Messages)-float64(rep.Metrics.TC) {
+		t.Fatal("competitive residual mismatch")
+	}
+	if !strings.Contains(rep.AdversaryName, "churn") {
+		t.Fatalf("adversary name = %q", rep.AdversaryName)
+	}
+}
+
+func TestRunDefaultsToSingleSourceStatic(t *testing.T) {
+	rep, err := Run(Config{N: 8, K: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed {
+		t.Fatal("incomplete")
+	}
+}
+
+func TestRunAllUnicastAlgorithms(t *testing.T) {
+	for _, alg := range []Algorithm{AlgSingleSource, AlgMultiSource, AlgOblivious, AlgSpanningTree, AlgTopkis} {
+		srcs := 1
+		if alg == AlgMultiSource || alg == AlgOblivious {
+			srcs = 4
+		}
+		adv := AdvStatic
+		rep, err := Run(Config{
+			N: 12, K: 12, Sources: srcs,
+			Algorithm: alg, Adversary: adv, Seed: 3,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if !rep.Completed {
+			t.Fatalf("%s: incomplete", alg)
+		}
+	}
+}
+
+func TestRunBroadcastAlgorithms(t *testing.T) {
+	for _, alg := range []Algorithm{AlgFlooding, AlgRandomBroadcast} {
+		rep, err := Run(Config{
+			N: 10, K: 10, Sources: 10,
+			Algorithm: alg, Adversary: AdvStatic, Seed: 4,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if !rep.Completed {
+			t.Fatalf("%s: incomplete", alg)
+		}
+		if rep.Metrics.Broadcasts != rep.Metrics.Messages {
+			t.Fatalf("%s: broadcast accounting mismatch", alg)
+		}
+	}
+}
+
+func TestRunFloodingVsFreeEdge(t *testing.T) {
+	rep, err := Run(Config{
+		N: 12, K: 12, Sources: 12,
+		Algorithm: AlgFlooding, Adversary: AdvFreeEdge, Seed: 5,
+		MaxRounds: 12 * 12 * 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Completed {
+		t.Fatal("flooding must complete against the free-edge adversary")
+	}
+}
+
+func TestRunAllObliviousAdversaries(t *testing.T) {
+	for _, adv := range []Adversary{
+		AdvStatic, AdvChurn, AdvRewire, AdvMarkovian, AdvRegular,
+		AdvRotatingStar, AdvMobility, AdvRequestCutter,
+	} {
+		rep, err := Run(Config{
+			N: 10, K: 8, Algorithm: AlgSingleSource, Adversary: adv, Seed: 6,
+			MaxRounds: 500000,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", adv, err)
+		}
+		if !rep.Completed {
+			t.Fatalf("%s: incomplete", adv)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cases := []Config{
+		{N: 1, K: 1},
+		{N: 4, K: 0},
+		{N: 4, K: 2, Algorithm: "nope"},
+		{N: 4, K: 2, Adversary: "nope"},
+		{N: 4, K: 2, Algorithm: AlgSingleSource, Adversary: AdvFreeEdge},
+		{N: 4, K: 4, Sources: 4, Algorithm: AlgFlooding, Adversary: AdvRequestCutter},
+		{N: 4, K: 2, Sources: 3}, // k < s
+	}
+	for i, c := range cases {
+		if _, err := Run(c); err == nil {
+			t.Fatalf("case %d (%+v): expected error", i, c)
+		}
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep, err := Run(Config{N: 8, K: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"completed"`, `"messages"`, `"tc"`, `"amortized_per_token"`, `"competitive_residual"`} {
+		if !strings.Contains(string(raw), key) {
+			t.Fatalf("JSON missing %s: %s", key, raw)
+		}
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Metrics != rep.Metrics || back.Rounds != rep.Rounds {
+		t.Fatal("round trip lost data")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{N: 10, K: 10, Sources: 2, Algorithm: AlgMultiSource, Adversary: AdvChurn, Seed: 9}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rounds != b.Rounds || a.Metrics != b.Metrics {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}

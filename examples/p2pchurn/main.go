@@ -1,0 +1,59 @@
+// P2P churn: an n-gossip workload (every peer has one update to share, as in
+// a peer-to-peer overlay) under continuous connection churn. Compares the
+// multi-source unicast algorithm against naive local-broadcast flooding and
+// against Algorithm 2's random-walk center reduction — the paper's Table 1
+// regime where k ≈ s ≈ n.
+//
+//	go run ./examples/p2pchurn
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynspread"
+	"dynspread/internal/core"
+)
+
+func main() {
+	const n = 48
+
+	fmt.Printf("n-gossip on a churning P2P overlay (n = k = s = %d)\n\n", n)
+	fmt.Printf("%-28s %10s %10s %12s %14s\n", "algorithm", "rounds", "messages", "amortized", "residual M−TC")
+
+	run := func(name string, cfg dynspread.Config) {
+		rep, err := dynspread.Run(cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		if !rep.Completed {
+			log.Fatalf("%s: incomplete after %d rounds", name, rep.Rounds)
+		}
+		fmt.Printf("%-28s %10d %10d %12.1f %14.0f\n",
+			name, rep.Rounds, rep.Metrics.Messages, rep.Amortized, rep.CompetitiveResidual)
+	}
+
+	run("flooding (broadcast)", dynspread.Config{
+		N: n, K: n, Sources: n,
+		Algorithm: dynspread.AlgFlooding,
+		Adversary: dynspread.AdvChurn, Sigma: 3, Seed: 7,
+	})
+	run("multi-source unicast", dynspread.Config{
+		N: n, K: n, Sources: n,
+		Algorithm: dynspread.AlgMultiSource,
+		Adversary: dynspread.AdvChurn, Sigma: 3, Seed: 7,
+	})
+	run("oblivious (Algorithm 2)", dynspread.Config{
+		N: n, K: n, Sources: n,
+		Algorithm: dynspread.AlgOblivious,
+		Adversary: dynspread.AdvRegular, // oblivious near-regular dynamics
+		Seed:      7,
+		Oblivious: core.ObliviousOpts{ForceTwoPhase: true, CF: 0.06, Seed: 8},
+	})
+
+	fmt.Println()
+	fmt.Println("with k ≈ s ≈ n, multi-source pays the O(n²s) announcement term;")
+	fmt.Println("Algorithm 2 first concentrates all tokens on a few centers via")
+	fmt.Println("random walks, then disseminates from that small source set —")
+	fmt.Println("the paper's subquadratic amortized bound under an oblivious adversary.")
+}

@@ -1,0 +1,40 @@
+// Quickstart: disseminate k tokens from one source over a churning dynamic
+// network with Algorithm 1 (Single-Source-Unicast) and read the paper's cost
+// measures off the report.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynspread"
+)
+
+func main() {
+	report, err := dynspread.Run(dynspread.Config{
+		N:         64,  // nodes
+		K:         128, // tokens
+		Sources:   1,   // all tokens start at node 0
+		Algorithm: dynspread.AlgSingleSource,
+		Adversary: dynspread.AdvChurn, // σ=3-edge-stable random churn
+		Sigma:     3,
+		Seed:      1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("single-source dissemination on a churning dynamic network")
+	fmt.Printf("  completed:            %v in %d rounds\n", report.Completed, report.Rounds)
+	fmt.Printf("  messages:             %d total\n", report.Metrics.Messages)
+	fmt.Printf("  topological changes:  TC(E) = %d\n", report.Metrics.TC)
+	fmt.Printf("  competitive residual: %.0f  (Theorem 3.1: O(n²+nk) = O(%d))\n",
+		report.CompetitiveResidual, 64*64+64*128)
+	fmt.Printf("  amortized:            %.1f messages/token (n = %d)\n", report.Amortized, 64)
+	fmt.Println()
+	fmt.Println("the residual stays within a small multiple of n²+nk no matter how")
+	fmt.Println("aggressively the adversary rewires — every wasted request is paid")
+	fmt.Println("for by one of the adversary's own topology changes (Definition 1.3).")
+}

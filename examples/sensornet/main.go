@@ -1,0 +1,55 @@
+// Sensor network: local-broadcast dissemination in a wireless-style setting
+// (a node's transmission reaches all current neighbors and costs one
+// message). Runs flooding against benign dynamics and against the paper's
+// strongly adaptive free-edge adversary, showing the Θ(n²) amortized wall of
+// Theorem 2.3 — and why the paper then moves to unicast.
+//
+//	go run ./examples/sensornet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynspread"
+)
+
+func main() {
+	const n = 32 // sensors; every sensor holds one reading (n-gossip)
+
+	fmt.Printf("wireless flooding, n = k = %d (every broadcast costs 1 message)\n\n", n)
+	fmt.Printf("%-34s %8s %12s %12s %8s\n", "dynamics", "rounds", "broadcasts", "amortized", "vs n²")
+
+	for _, tc := range []struct {
+		name string
+		adv  dynspread.Adversary
+	}{
+		{"static random graph", dynspread.AdvStatic},
+		{"edge-Markovian fading links", dynspread.AdvMarkovian},
+		{"strongly adaptive (free-edge)", dynspread.AdvFreeEdge},
+	} {
+		rep, err := dynspread.Run(dynspread.Config{
+			N: n, K: n, Sources: n,
+			Algorithm: dynspread.AlgFlooding,
+			Adversary: tc.adv,
+			Seed:      11,
+			MaxRounds: 4 * n * n,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !rep.Completed {
+			log.Fatalf("%s: incomplete", tc.name)
+		}
+		fmt.Printf("%-34s %8d %12d %12.1f %8.2f\n",
+			tc.name, rep.Rounds, rep.Metrics.Broadcasts, rep.Amortized,
+			rep.Amortized/float64(n*n))
+	}
+
+	fmt.Println()
+	fmt.Println("flooding is schedule-aligned (each token gets an n-round window), so")
+	fmt.Println("it finishes within nk rounds on ANY connected dynamics — but against")
+	fmt.Println("the adaptive adversary the amortized cost is pinned near n²:")
+	fmt.Println("Theorem 2.3 proves no token-forwarding broadcast algorithm does")
+	fmt.Println("better than Ω(n²/log²n) amortized broadcasts per token.")
+}

@@ -1,0 +1,49 @@
+// Streaming: one node streams a long sequence of tokens (the paper's
+// audio/video-transmission motivation for large k). Shows how Algorithm 1's
+// amortized message cost per token converges to the optimal Θ(n) as the
+// stream grows, and how the adversary-competitive accounting splits the bill
+// with the adversary.
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynspread"
+)
+
+func main() {
+	const n = 32
+
+	fmt.Printf("single source streaming k tokens to %d nodes over adaptive churn\n\n", n)
+	fmt.Printf("%6s %8s %10s %8s %12s %16s %10s\n",
+		"k", "rounds", "messages", "TC(E)", "residual", "residual/(n²+nk)", "amortized")
+
+	for _, k := range []int{8, 32, 128, 512} {
+		rep, err := dynspread.Run(dynspread.Config{
+			N: n, K: k, Sources: 1,
+			Algorithm: dynspread.AlgSingleSource,
+			Adversary: dynspread.AdvRequestCutter, // strongly adaptive
+			Seed:      5,
+			MaxRounds: 4000 * k,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !rep.Completed {
+			log.Fatalf("k=%d: incomplete", k)
+		}
+		bound := float64(n*n + n*k)
+		fmt.Printf("%6d %8d %10d %8d %12.0f %16.2f %10.1f\n",
+			k, rep.Rounds, rep.Metrics.Messages, rep.Metrics.TC,
+			rep.CompetitiveResidual, rep.CompetitiveResidual/bound, rep.Amortized)
+	}
+
+	fmt.Println()
+	fmt.Printf("as k grows the amortized cost approaches the optimal Θ(n) = Θ(%d):\n", n)
+	fmt.Println("the O(n²) completeness-announcement term is paid once and amortizes")
+	fmt.Println("away, and every request wasted by the adversary's rewiring is covered")
+	fmt.Println("by its own TC budget (1-adversary-competitive, Theorem 3.1).")
+}

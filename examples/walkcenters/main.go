@@ -1,0 +1,82 @@
+// Walk to centers: a low-level look at Algorithm 2's phase 1. Tokens random-
+// walk over an oblivious d-regular dynamic graph until they hit one of the
+// randomly marked centers; the example measures hitting times and the
+// Lemma 3.7 visit bound that underlies the phase-1 length analysis.
+//
+// This example uses the internal analysis packages directly (the facade runs
+// the full algorithm; here we inspect its substrate).
+//
+//	go run ./examples/walkcenters
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"dynspread/internal/adversary"
+	"dynspread/internal/stats"
+	"dynspread/internal/walk"
+)
+
+func main() {
+	const (
+		n     = 64
+		d     = 6
+		f     = 6 // centers
+		walks = 40
+	)
+	rng := rand.New(rand.NewSource(3))
+
+	// Mark f random centers (Algorithm 2 marks each node w.p. f/n).
+	centers := make([]bool, n)
+	for marked := 0; marked < f; {
+		c := rng.Intn(n)
+		if !centers[c] {
+			centers[c] = true
+			marked++
+		}
+	}
+
+	fmt.Printf("random walks on a %d-regular oblivious dynamic graph, %d centers\n\n", d, f)
+
+	var hitTimes, distinct []float64
+	for i := 0; i < walks; i++ {
+		seq, err := adversary.NewRegular(n, d, int64(100+i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := rng.Intn(n)
+		res, err := walk.HitTime(seq.Graph, n, start, centers, 100000, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Hit {
+			log.Fatalf("walk %d never hit a center", i)
+		}
+		hitTimes = append(hitTimes, float64(res.Steps))
+		distinct = append(distinct, float64(res.Distinct))
+	}
+	ht := stats.Summarize(hitTimes)
+	dv := stats.Summarize(distinct)
+	fmt.Printf("hitting time to a center: mean %.0f rounds (median %.0f, max %.0f)\n", ht.Mean, ht.Median, ht.Max)
+	fmt.Printf("distinct nodes visited:   mean %.0f of %d (need ~n·log n/f = %.0f to hit w.h.p.)\n",
+		dv.Mean, n, float64(n)*6/float64(f))
+
+	// Lemma 3.7: max visits to any node after t steps stays under
+	// 2^{c+3}·d·√(t+1)·log n.
+	seq, err := adversary.NewRegular(n, d, 999)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const t = 8000
+	vr, err := walk.Visits(seq.Graph, n, 0, t, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound := walk.Lemma37Bound(1, d, t, n)
+	fmt.Printf("\nLemma 3.7 check after t=%d steps: max visits %d < bound %.0f (ratio %.3f)\n",
+		t, vr.MaxVisits, bound, float64(vr.MaxVisits)/bound)
+	fmt.Println("\nthis spreading guarantee is why phase 1 parks every token at a")
+	fmt.Println("center within the paper's ℓ = k¼·n^{5/2}·log^{9/4}n round budget.")
+}

@@ -1,0 +1,45 @@
+// Package adversary provides the dynamic-network adversaries of the paper:
+// oblivious graph-sequence generators (which commit to the topology sequence
+// independent of the execution) and strongly adaptive adversaries (which
+// inspect the full execution state, including the current round's committed
+// sends, before wiring each round).
+package adversary
+
+import (
+	"dynspread/internal/graph"
+	"dynspread/internal/sim"
+)
+
+// Sequence is an oblivious dynamic-graph generator: Graph(r) must depend
+// only on the generator's own construction (seed) and on r, never on the
+// execution. The engine calls it once per round in increasing round order.
+type Sequence interface {
+	Name() string
+	Graph(r int) *graph.Graph
+}
+
+// obliviousUnicast adapts a Sequence to sim.Adversary. By construction it
+// ignores everything in the view except the round number, which is what
+// makes it oblivious.
+type obliviousUnicast struct{ seq Sequence }
+
+// Oblivious wraps an oblivious sequence as a unicast adversary.
+func Oblivious(seq Sequence) sim.Adversary { return obliviousUnicast{seq} }
+
+func (o obliviousUnicast) Name() string { return o.seq.Name() }
+
+func (o obliviousUnicast) NextGraph(view *sim.View) *graph.Graph {
+	return o.seq.Graph(view.Round)
+}
+
+// obliviousBroadcast adapts a Sequence to sim.BroadcastAdversary.
+type obliviousBroadcast struct{ seq Sequence }
+
+// ObliviousBroadcast wraps an oblivious sequence as a broadcast adversary.
+func ObliviousBroadcast(seq Sequence) sim.BroadcastAdversary { return obliviousBroadcast{seq} }
+
+func (o obliviousBroadcast) Name() string { return o.seq.Name() }
+
+func (o obliviousBroadcast) NextGraph(view *sim.BroadcastView) *graph.Graph {
+	return o.seq.Graph(view.Round)
+}

@@ -1,0 +1,244 @@
+// Package bitset provides a dense, fixed-capacity bitset used throughout the
+// simulator for token-knowledge sets K_v(t) and the lower-bound bookkeeping
+// sets K'_v, where fast union, intersection and popcount dominate.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-capacity bitset over the universe [0, Len()).
+// The zero value is an empty set of capacity 0; use New for a sized set.
+type Set struct {
+	n     int
+	words []uint64
+}
+
+// New returns an empty set with capacity for n elements.
+func New(n int) *Set {
+	if n < 0 {
+		n = 0
+	}
+	return &Set{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// Len returns the capacity (universe size) of the set.
+func (s *Set) Len() int { return s.n }
+
+// Add inserts i into the set. Out-of-range indices are ignored.
+func (s *Set) Add(i int) {
+	if i < 0 || i >= s.n {
+		return
+	}
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Remove deletes i from the set. Out-of-range indices are ignored.
+func (s *Set) Remove(i int) {
+	if i < 0 || i >= s.n {
+		return
+	}
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Contains reports whether i is in the set.
+func (s *Set) Contains(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+// Count returns the number of elements in the set.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether the set has no elements.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Full reports whether every element of the universe is present.
+func (s *Set) Full() bool { return s.Count() == s.n }
+
+// Clone returns a deep copy of the set.
+func (s *Set) Clone() *Set {
+	c := &Set{n: s.n, words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// Clear removes all elements.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Fill adds every element of the universe.
+func (s *Set) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+}
+
+// trim zeroes bits beyond the universe size in the last word.
+func (s *Set) trim() {
+	if len(s.words) == 0 {
+		return
+	}
+	rem := s.n % wordBits
+	if rem != 0 {
+		s.words[len(s.words)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// UnionWith adds every element of o to s. Sets must have equal capacity.
+func (s *Set) UnionWith(o *Set) error {
+	if o.n != s.n {
+		return fmt.Errorf("bitset: capacity mismatch %d != %d", s.n, o.n)
+	}
+	for i, w := range o.words {
+		s.words[i] |= w
+	}
+	return nil
+}
+
+// IntersectWith keeps only elements present in both s and o.
+func (s *Set) IntersectWith(o *Set) error {
+	if o.n != s.n {
+		return fmt.Errorf("bitset: capacity mismatch %d != %d", s.n, o.n)
+	}
+	for i, w := range o.words {
+		s.words[i] &= w
+	}
+	return nil
+}
+
+// DifferenceWith removes every element of o from s.
+func (s *Set) DifferenceWith(o *Set) error {
+	if o.n != s.n {
+		return fmt.Errorf("bitset: capacity mismatch %d != %d", s.n, o.n)
+	}
+	for i, w := range o.words {
+		s.words[i] &^= w
+	}
+	return nil
+}
+
+// UnionCount returns |s ∪ o| without allocating. Capacities must match; a
+// mismatch returns -1.
+func (s *Set) UnionCount(o *Set) int {
+	if o.n != s.n {
+		return -1
+	}
+	c := 0
+	for i, w := range o.words {
+		c += bits.OnesCount64(s.words[i] | w)
+	}
+	return c
+}
+
+// IntersectionCount returns |s ∩ o|, or -1 on capacity mismatch.
+func (s *Set) IntersectionCount(o *Set) int {
+	if o.n != s.n {
+		return -1
+	}
+	c := 0
+	for i, w := range o.words {
+		c += bits.OnesCount64(s.words[i] & w)
+	}
+	return c
+}
+
+// Equal reports whether s and o contain the same elements and capacity.
+func (s *Set) Equal(o *Set) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every element of s is in o.
+func (s *Set) SubsetOf(o *Set) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w&^o.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Elements returns the members of the set in increasing order.
+func (s *Set) Elements() []int {
+	out := make([]int, 0, s.Count())
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*wordBits+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// NextAbsent returns the smallest element >= from that is NOT in the set, or
+// -1 if every element in [from, Len()) is present.
+func (s *Set) NextAbsent(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	for i := from; i < s.n; i++ {
+		wi := i / wordBits
+		w := ^s.words[wi]
+		// Mask off bits below i within this word.
+		w &= ^uint64(0) << uint(i%wordBits)
+		if w == 0 {
+			i = (wi+1)*wordBits - 1
+			continue
+		}
+		j := wi*wordBits + bits.TrailingZeros64(w)
+		if j >= s.n {
+			return -1
+		}
+		return j
+	}
+	return -1
+}
+
+// String renders the set as {a, b, c} for debugging.
+func (s *Set) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, e := range s.Elements() {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%d", e)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

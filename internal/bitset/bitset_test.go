@@ -1,0 +1,375 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(100)
+	if !s.Empty() {
+		t.Fatal("new set not empty")
+	}
+	if s.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", s.Count())
+	}
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", s.Len())
+	}
+}
+
+func TestNewNegative(t *testing.T) {
+	s := New(-5)
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", s.Len())
+	}
+}
+
+func TestAddContainsRemove(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Fatalf("Contains(%d) = false after Add", i)
+		}
+	}
+	if s.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", s.Count())
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Fatal("Contains(64) after Remove")
+	}
+	if s.Count() != 7 {
+		t.Fatalf("Count = %d, want 7", s.Count())
+	}
+}
+
+func TestOutOfRangeIgnored(t *testing.T) {
+	s := New(10)
+	s.Add(-1)
+	s.Add(10)
+	s.Add(1000)
+	if !s.Empty() {
+		t.Fatal("out-of-range Add modified set")
+	}
+	if s.Contains(-1) || s.Contains(10) {
+		t.Fatal("Contains out of range returned true")
+	}
+	s.Remove(-1) // must not panic
+	s.Remove(99)
+}
+
+func TestAddIdempotent(t *testing.T) {
+	s := New(10)
+	s.Add(3)
+	s.Add(3)
+	if s.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", s.Count())
+	}
+}
+
+func TestFillFull(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 100, 128} {
+		s := New(n)
+		s.Fill()
+		if s.Count() != n {
+			t.Fatalf("n=%d: Count after Fill = %d", n, s.Count())
+		}
+		if !s.Full() {
+			t.Fatalf("n=%d: not Full after Fill", n)
+		}
+		// No stray bits past the universe.
+		if s.Contains(n) {
+			t.Fatalf("n=%d: Contains(n) true", n)
+		}
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := New(70)
+	s.Fill()
+	s.Clear()
+	if !s.Empty() {
+		t.Fatal("not empty after Clear")
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := New(100)
+	s.Add(5)
+	s.Add(99)
+	c := s.Clone()
+	if !c.Equal(s) {
+		t.Fatal("clone not equal")
+	}
+	c.Add(7)
+	if s.Contains(7) {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestUnionIntersectDifference(t *testing.T) {
+	a := New(200)
+	b := New(200)
+	for i := 0; i < 200; i += 2 {
+		a.Add(i)
+	}
+	for i := 0; i < 200; i += 3 {
+		b.Add(i)
+	}
+	u := a.Clone()
+	if err := u.UnionWith(b); err != nil {
+		t.Fatal(err)
+	}
+	in := a.Clone()
+	if err := in.IntersectWith(b); err != nil {
+		t.Fatal(err)
+	}
+	df := a.Clone()
+	if err := df.DifferenceWith(b); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		even, tri := i%2 == 0, i%3 == 0
+		if u.Contains(i) != (even || tri) {
+			t.Fatalf("union wrong at %d", i)
+		}
+		if in.Contains(i) != (even && tri) {
+			t.Fatalf("intersection wrong at %d", i)
+		}
+		if df.Contains(i) != (even && !tri) {
+			t.Fatalf("difference wrong at %d", i)
+		}
+	}
+	if got := a.UnionCount(b); got != u.Count() {
+		t.Fatalf("UnionCount = %d, want %d", got, u.Count())
+	}
+	if got := a.IntersectionCount(b); got != in.Count() {
+		t.Fatalf("IntersectionCount = %d, want %d", got, in.Count())
+	}
+}
+
+func TestCapacityMismatch(t *testing.T) {
+	a, b := New(10), New(20)
+	if err := a.UnionWith(b); err == nil {
+		t.Fatal("UnionWith mismatch: no error")
+	}
+	if err := a.IntersectWith(b); err == nil {
+		t.Fatal("IntersectWith mismatch: no error")
+	}
+	if err := a.DifferenceWith(b); err == nil {
+		t.Fatal("DifferenceWith mismatch: no error")
+	}
+	if a.UnionCount(b) != -1 {
+		t.Fatal("UnionCount mismatch != -1")
+	}
+	if a.IntersectionCount(b) != -1 {
+		t.Fatal("IntersectionCount mismatch != -1")
+	}
+	if a.Equal(b) {
+		t.Fatal("Equal across capacities")
+	}
+	if a.SubsetOf(b) {
+		t.Fatal("SubsetOf across capacities")
+	}
+}
+
+func TestElementsSorted(t *testing.T) {
+	s := New(300)
+	want := []int{0, 2, 64, 65, 128, 299}
+	for _, i := range want {
+		s.Add(i)
+	}
+	got := s.Elements()
+	if len(got) != len(want) {
+		t.Fatalf("Elements len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Elements[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSubsetOf(t *testing.T) {
+	a, b := New(100), New(100)
+	a.Add(1)
+	a.Add(50)
+	b.Add(1)
+	b.Add(50)
+	b.Add(99)
+	if !a.SubsetOf(b) {
+		t.Fatal("a should be subset of b")
+	}
+	if b.SubsetOf(a) {
+		t.Fatal("b should not be subset of a")
+	}
+	if !a.SubsetOf(a) {
+		t.Fatal("a should be subset of itself")
+	}
+}
+
+func TestNextAbsent(t *testing.T) {
+	s := New(130)
+	for i := 0; i < 130; i++ {
+		s.Add(i)
+	}
+	if got := s.NextAbsent(0); got != -1 {
+		t.Fatalf("NextAbsent full = %d, want -1", got)
+	}
+	s.Remove(64)
+	s.Remove(100)
+	if got := s.NextAbsent(0); got != 64 {
+		t.Fatalf("NextAbsent(0) = %d, want 64", got)
+	}
+	if got := s.NextAbsent(65); got != 100 {
+		t.Fatalf("NextAbsent(65) = %d, want 100", got)
+	}
+	if got := s.NextAbsent(101); got != -1 {
+		t.Fatalf("NextAbsent(101) = %d, want -1", got)
+	}
+	if got := s.NextAbsent(-5); got != 64 {
+		t.Fatalf("NextAbsent(-5) = %d, want 64", got)
+	}
+}
+
+func TestNextAbsentEmpty(t *testing.T) {
+	s := New(5)
+	if got := s.NextAbsent(0); got != 0 {
+		t.Fatalf("NextAbsent empty = %d, want 0", got)
+	}
+	if got := s.NextAbsent(4); got != 4 {
+		t.Fatalf("NextAbsent(4) = %d, want 4", got)
+	}
+	if got := s.NextAbsent(5); got != -1 {
+		t.Fatalf("NextAbsent(5) = %d, want -1", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New(10)
+	s.Add(1)
+	s.Add(3)
+	if got := s.String(); got != "{1, 3}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := New(3).String(); got != "{}" {
+		t.Fatalf("empty String = %q", got)
+	}
+}
+
+// Property: for random element sets, bitset operations agree with a
+// map-based model.
+func TestQuickAgainstMapModel(t *testing.T) {
+	f := func(addsA, addsB []uint16, seed int64) bool {
+		const n = 512
+		a, b := New(n), New(n)
+		ma, mb := map[int]bool{}, map[int]bool{}
+		for _, x := range addsA {
+			i := int(x) % n
+			a.Add(i)
+			ma[i] = true
+		}
+		for _, x := range addsB {
+			i := int(x) % n
+			b.Add(i)
+			mb[i] = true
+		}
+		if a.Count() != len(ma) || b.Count() != len(mb) {
+			return false
+		}
+		union := map[int]bool{}
+		for i := range ma {
+			union[i] = true
+		}
+		for i := range mb {
+			union[i] = true
+		}
+		if a.UnionCount(b) != len(union) {
+			return false
+		}
+		inter := 0
+		for i := range ma {
+			if mb[i] {
+				inter++
+			}
+		}
+		if a.IntersectionCount(b) != inter {
+			return false
+		}
+		// Random removals preserve the model.
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 50; i++ {
+			x := rng.Intn(n)
+			a.Remove(x)
+			delete(ma, x)
+		}
+		if a.Count() != len(ma) {
+			return false
+		}
+		for i := range ma {
+			if !a.Contains(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: union is commutative and idempotent; difference then union
+// restores a superset relationship.
+func TestQuickSetAlgebra(t *testing.T) {
+	f := func(addsA, addsB []uint16) bool {
+		const n = 256
+		a, b := New(n), New(n)
+		for _, x := range addsA {
+			a.Add(int(x) % n)
+		}
+		for _, x := range addsB {
+			b.Add(int(x) % n)
+		}
+		ab := a.Clone()
+		_ = ab.UnionWith(b)
+		ba := b.Clone()
+		_ = ba.UnionWith(a)
+		if !ab.Equal(ba) {
+			return false
+		}
+		again := ab.Clone()
+		_ = again.UnionWith(b)
+		if !again.Equal(ab) {
+			return false
+		}
+		if !a.SubsetOf(ab) || !b.SubsetOf(ab) {
+			return false
+		}
+		d := ab.Clone()
+		_ = d.DifferenceWith(b)
+		if d.IntersectionCount(b) != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUnionCount(b *testing.B) {
+	a, c := New(4096), New(4096)
+	for i := 0; i < 4096; i += 3 {
+		a.Add(i)
+	}
+	for i := 0; i < 4096; i += 5 {
+		c.Add(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.UnionCount(c)
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"dynspread/internal/bitset"
+	"dynspread/internal/sim"
+	"dynspread/internal/token"
+)
+
+// Flooding is the paper's naive local-broadcast algorithm: "each node
+// broadcasts each token for n rounds". Time is divided into windows of
+// WindowLen rounds; in window w every node holding token (w mod k) broadcasts
+// it. Because every round's graph is connected, at least one edge crosses
+// the knower/non-knower cut, so each window fully spreads its token and the
+// whole dissemination finishes within nk rounds using at most n broadcasts
+// per round — the O(n²) amortized-messages upper bound of Section 1.
+type Flooding struct {
+	env       sim.NodeEnv
+	windowLen int
+	know      *bitset.Set
+}
+
+// NewFlooding returns the flooding factory. windowLen <= 0 selects n (the
+// value the correctness argument needs; smaller values are exposed for
+// ablation only).
+func NewFlooding(windowLen int) sim.BroadcastFactory {
+	return func(env sim.NodeEnv) sim.BroadcastProtocol {
+		w := windowLen
+		if w <= 0 {
+			w = env.N
+		}
+		f := &Flooding{env: env, windowLen: w, know: bitset.New(env.K)}
+		for _, t := range env.Initial {
+			f.know.Add(t)
+		}
+		return f
+	}
+}
+
+// Choose implements sim.BroadcastProtocol: broadcast the window's scheduled
+// token iff this node holds it.
+func (f *Flooding) Choose(r int) token.ID {
+	if f.env.K == 0 {
+		return token.None
+	}
+	scheduled := ((r - 1) / f.windowLen) % f.env.K
+	if f.know.Contains(scheduled) {
+		return scheduled
+	}
+	return token.None
+}
+
+// Deliver implements sim.BroadcastProtocol.
+func (f *Flooding) Deliver(_ int, heard []sim.BroadcastHear) {
+	for _, h := range heard {
+		f.know.Add(h.Token)
+	}
+}
+
+// RandomBroadcast broadcasts a uniformly random held token every round. It
+// makes no per-round progress guarantee against a strongly adaptive
+// adversary (the free-edge adversary can often block it entirely); the E1
+// experiment uses it to show the lower bound is not an artifact of
+// flooding's schedule.
+type RandomBroadcast struct {
+	env  sim.NodeEnv
+	know []token.ID
+	seen *bitset.Set
+}
+
+// NewRandomBroadcast returns the factory.
+func NewRandomBroadcast() sim.BroadcastFactory {
+	return func(env sim.NodeEnv) sim.BroadcastProtocol {
+		p := &RandomBroadcast{env: env, seen: bitset.New(env.K)}
+		for _, t := range env.Initial {
+			p.seen.Add(t)
+			p.know = append(p.know, t)
+		}
+		return p
+	}
+}
+
+// Choose implements sim.BroadcastProtocol.
+func (p *RandomBroadcast) Choose(int) token.ID {
+	if len(p.know) == 0 {
+		return token.None
+	}
+	return p.know[p.env.Rng.Intn(len(p.know))]
+}
+
+// Deliver implements sim.BroadcastProtocol.
+func (p *RandomBroadcast) Deliver(_ int, heard []sim.BroadcastHear) {
+	for _, h := range heard {
+		if !p.seen.Contains(h.Token) {
+			p.seen.Add(h.Token)
+			p.know = append(p.know, h.Token)
+		}
+	}
+}
+
+// SilentBroadcast runs flooding's schedule but only lets nodes with ID below
+// Broadcasters speak. With Broadcasters ≤ n/(c log n) it realizes the
+// c-sparse token assignments of Lemma 2.2: against the free-edge adversary
+// the free graph stays connected and zero potential progress occurs, so the
+// E2 experiment can observe the lemma directly.
+type SilentBroadcast struct {
+	inner        sim.BroadcastProtocol
+	id           int
+	broadcasters int
+}
+
+// NewSilentBroadcast returns the factory; broadcasters is the number of
+// nodes allowed to broadcast (IDs 0..broadcasters-1).
+func NewSilentBroadcast(broadcasters, windowLen int) sim.BroadcastFactory {
+	flood := NewFlooding(windowLen)
+	return func(env sim.NodeEnv) sim.BroadcastProtocol {
+		return &SilentBroadcast{inner: flood(env), id: env.ID, broadcasters: broadcasters}
+	}
+}
+
+// Choose implements sim.BroadcastProtocol.
+func (p *SilentBroadcast) Choose(r int) token.ID {
+	if p.id >= p.broadcasters {
+		return token.None
+	}
+	return p.inner.Choose(r)
+}
+
+// Deliver implements sim.BroadcastProtocol.
+func (p *SilentBroadcast) Deliver(r int, heard []sim.BroadcastHear) {
+	p.inner.Deliver(r, heard)
+}

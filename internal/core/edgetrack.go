@@ -1,0 +1,82 @@
+package core
+
+import (
+	"dynspread/internal/graph"
+)
+
+// edgeClass is the Algorithm 1 categorization of an incomplete node's edge
+// to a complete neighbor, which defines the request-priority order
+// new > idle > contributive.
+type edgeClass int
+
+const (
+	edgeNew edgeClass = iota + 1
+	edgeIdle
+	edgeContributive
+)
+
+// edgeTracker maintains, per current neighbor, the round the adjacency was
+// last inserted and whether a new token has been received over it since then
+// ("contributive"). Re-insertion of a vanished adjacency resets both, per
+// the paper's "between the last insertion of the edge and the end of round
+// r" clause.
+type edgeTracker struct {
+	round        int
+	insertedAt   map[graph.NodeID]int
+	contributive map[graph.NodeID]bool
+	nbrs         []graph.NodeID
+	nbrSet       map[graph.NodeID]bool
+}
+
+func newEdgeTracker() *edgeTracker {
+	return &edgeTracker{
+		insertedAt:   make(map[graph.NodeID]int),
+		contributive: make(map[graph.NodeID]bool),
+		nbrSet:       make(map[graph.NodeID]bool),
+	}
+}
+
+// beginRound ingests the round-start neighbor list.
+func (t *edgeTracker) beginRound(r int, nbrs []graph.NodeID) {
+	t.round = r
+	next := make(map[graph.NodeID]bool, len(nbrs))
+	for _, u := range nbrs {
+		next[u] = true
+		if !t.nbrSet[u] {
+			t.insertedAt[u] = r
+			t.contributive[u] = false
+		}
+	}
+	for u := range t.nbrSet {
+		if !next[u] {
+			delete(t.insertedAt, u)
+			delete(t.contributive, u)
+		}
+	}
+	t.nbrSet = next
+	t.nbrs = nbrs
+}
+
+// adjacent reports whether u is a current neighbor.
+func (t *edgeTracker) adjacent(u graph.NodeID) bool { return t.nbrSet[u] }
+
+// markContributive records that a new token arrived over the edge to u.
+func (t *edgeTracker) markContributive(u graph.NodeID) {
+	if t.nbrSet[u] {
+		t.contributive[u] = true
+	}
+}
+
+// class categorizes the current edge to u. willContribute marks edges with a
+// request in flight that will deliver a token by the end of this round (the
+// paper's "v knows that it learns a token over e in round r").
+func (t *edgeTracker) class(u graph.NodeID, willContribute bool) edgeClass {
+	ins := t.insertedAt[u]
+	if ins == t.round || ins == t.round-1 {
+		return edgeNew
+	}
+	if t.contributive[u] || willContribute {
+		return edgeContributive
+	}
+	return edgeIdle
+}

@@ -1,0 +1,72 @@
+package core
+
+import "testing"
+
+func TestEdgeTrackerNewEdges(t *testing.T) {
+	tr := newEdgeTracker()
+	tr.beginRound(1, []int{1, 2})
+	if !tr.adjacent(1) || tr.adjacent(3) {
+		t.Fatal("adjacency wrong")
+	}
+	if tr.class(1, false) != edgeNew {
+		t.Fatal("round-1 edge not new")
+	}
+	tr.beginRound(2, []int{1, 2})
+	if tr.class(1, false) != edgeNew {
+		t.Fatal("edge inserted r-1 should still be new")
+	}
+	tr.beginRound(3, []int{1, 2})
+	if tr.class(1, false) != edgeIdle {
+		t.Fatal("aged edge without contribution should be idle")
+	}
+}
+
+func TestEdgeTrackerContributive(t *testing.T) {
+	tr := newEdgeTracker()
+	tr.beginRound(1, []int{1})
+	tr.markContributive(1)
+	tr.beginRound(2, []int{1})
+	tr.beginRound(3, []int{1})
+	if tr.class(1, false) != edgeContributive {
+		t.Fatal("edge with received token should be contributive")
+	}
+	// willContribute promotes an idle edge for this round.
+	tr2 := newEdgeTracker()
+	tr2.beginRound(1, []int{1})
+	tr2.beginRound(2, []int{1})
+	tr2.beginRound(3, []int{1})
+	if tr2.class(1, true) != edgeContributive {
+		t.Fatal("in-flight request edge should be contributive")
+	}
+}
+
+func TestEdgeTrackerReinsertionResets(t *testing.T) {
+	tr := newEdgeTracker()
+	tr.beginRound(1, []int{1})
+	tr.markContributive(1)
+	tr.beginRound(2, []int{}) // edge removed
+	if tr.adjacent(1) {
+		t.Fatal("removed edge still adjacent")
+	}
+	tr.beginRound(3, []int{1}) // re-inserted
+	if tr.class(1, false) != edgeNew {
+		t.Fatal("re-inserted edge should be new again")
+	}
+	tr.beginRound(4, []int{1})
+	tr.beginRound(5, []int{1})
+	if tr.class(1, false) != edgeIdle {
+		t.Fatal("contributive flag must reset on re-insertion")
+	}
+}
+
+func TestEdgeTrackerMarkNonNeighborIgnored(t *testing.T) {
+	tr := newEdgeTracker()
+	tr.beginRound(1, []int{1})
+	tr.markContributive(5) // not a neighbor; must not panic or record
+	tr.beginRound(2, []int{1, 5})
+	tr.beginRound(3, []int{1, 5})
+	tr.beginRound(4, []int{1, 5})
+	if tr.class(5, false) != edgeIdle {
+		t.Fatal("stale mark leaked")
+	}
+}

@@ -1,0 +1,328 @@
+package core
+
+import (
+	"sort"
+
+	"dynspread/internal/graph"
+	"dynspread/internal/sim"
+	"dynspread/internal/token"
+)
+
+// OwnedToken labels one token a node owns as a (phase-2 or original) source:
+// the owner's Index-th token out of Count.
+type OwnedToken struct {
+	Global token.ID
+	Index  int
+	Count  int
+}
+
+// MultiSource implements the Multi-Source-Unicast algorithm of Section
+// 3.2.1. Tokens start at s source nodes; every node tracks, per source x,
+// the set R_v(x) of nodes it has informed about its own completeness w.r.t.
+// x, the set S_v(x) of nodes that announced completeness w.r.t. x to it, and
+// the set I_v of sources it is complete with respect to. Each round a node
+// (1) announces, per neighbor, completeness w.r.t. the minimum applicable
+// source, (2) answers the previous round's token request, and (3) sends
+// requests for the minimum-ID source x ∉ I_v with S_v(x) ≠ ∅, using
+// Algorithm 1's new > idle > contributive edge priority. All three tasks
+// may share a single message per edge (constant tokens + O(log n) bits).
+type MultiSource struct {
+	env sim.NodeEnv
+
+	// Per-source progress. countOf[x] is k_x once learned (0 = unknown);
+	// have[x][i] marks held indices; haveCount[x] counts them;
+	// globals[x][i] maps to global IDs.
+	countOf   map[graph.NodeID]int
+	have      map[graph.NodeID][]bool
+	haveCount map[graph.NodeID]int
+	globals   map[graph.NodeID][]token.ID
+
+	iv       map[graph.NodeID]bool                  // I_v: sources we are complete w.r.t.
+	informed map[graph.NodeID]map[graph.NodeID]bool // R_v(x): x -> nodes informed
+	heard    map[graph.NodeID]map[graph.NodeID]bool // S_v(x): x -> nodes that announced
+
+	// answer[u] is the (owner, index) requested by u last round.
+	answer map[graph.NodeID]sim.RequestPayload
+
+	edges    *edgeTracker
+	inFlight map[graph.NodeID]sim.RequestPayload
+	sentNow  map[graph.NodeID]sim.RequestPayload
+}
+
+// NewMultiSource returns the Multi-Source-Unicast factory for tokens
+// distributed per the engine's assignment (each source owns its initial
+// tokens).
+func NewMultiSource() sim.Factory {
+	return func(env sim.NodeEnv) sim.Protocol {
+		owned := make([]OwnedToken, 0, len(env.Initial))
+		for _, t := range env.Initial {
+			info := env.InfoOf(t)
+			owned = append(owned, OwnedToken{Global: t, Index: info.Index, Count: 0})
+		}
+		for i := range owned {
+			owned[i].Count = len(owned)
+		}
+		return NewMultiSourceWith(env, owned)
+	}
+}
+
+// NewMultiSourceWith builds a MultiSource node whose owned source tokens are
+// given explicitly — this is how Algorithm 2's phase 2 runs MultiSource with
+// the centers as sources and freshly labeled token sets.
+func NewMultiSourceWith(env sim.NodeEnv, owned []OwnedToken) *MultiSource {
+	p := &MultiSource{
+		env:       env,
+		countOf:   make(map[graph.NodeID]int),
+		have:      make(map[graph.NodeID][]bool),
+		haveCount: make(map[graph.NodeID]int),
+		globals:   make(map[graph.NodeID][]token.ID),
+		iv:        make(map[graph.NodeID]bool),
+		informed:  make(map[graph.NodeID]map[graph.NodeID]bool),
+		heard:     make(map[graph.NodeID]map[graph.NodeID]bool),
+		answer:    make(map[graph.NodeID]sim.RequestPayload),
+		edges:     newEdgeTracker(),
+		inFlight:  make(map[graph.NodeID]sim.RequestPayload),
+		sentNow:   make(map[graph.NodeID]sim.RequestPayload),
+	}
+	if len(owned) > 0 {
+		me := env.ID
+		p.ensureSource(me, len(owned))
+		for _, o := range owned {
+			if o.Index >= 1 && o.Index <= len(owned) && !p.have[me][o.Index] {
+				p.have[me][o.Index] = true
+				p.globals[me][o.Index] = o.Global
+				p.haveCount[me]++
+			}
+		}
+		// A source is complete with respect to itself at time 0.
+		p.iv[me] = true
+		p.informed[me] = make(map[graph.NodeID]bool)
+	}
+	return p
+}
+
+// ensureSource sizes the per-source slices once k_x is known.
+func (p *MultiSource) ensureSource(x graph.NodeID, count int) {
+	if p.countOf[x] != 0 || count <= 0 {
+		return
+	}
+	p.countOf[x] = count
+	p.have[x] = make([]bool, count+1)
+	g := make([]token.ID, count+1)
+	for i := range g {
+		g[i] = token.None
+	}
+	p.globals[x] = g
+}
+
+// BeginRound implements sim.Protocol.
+func (p *MultiSource) BeginRound(r int, neighbors []graph.NodeID) {
+	p.edges.beginRound(r, neighbors)
+	for u := range p.inFlight {
+		delete(p.inFlight, u)
+	}
+	for u, req := range p.sentNow {
+		if p.edges.adjacent(u) {
+			p.inFlight[u] = req
+		}
+		delete(p.sentNow, u)
+	}
+}
+
+// Send implements sim.Protocol: the three parallel tasks of Section 3.2.1,
+// merged into at most one message per neighbor.
+func (p *MultiSource) Send(r int) []sim.Message {
+	drafts := make(map[graph.NodeID]*sim.Message)
+	draft := func(u graph.NodeID) *sim.Message {
+		if m, ok := drafts[u]; ok {
+			return m
+		}
+		m := &sim.Message{From: p.env.ID, To: u}
+		drafts[u] = m
+		return m
+	}
+
+	// Task 1: per neighbor, announce completeness w.r.t. the minimum source
+	// x ∈ I_v with u ∉ R_v(x).
+	for _, u := range p.edges.nbrs {
+		x := p.minUnannounced(u)
+		if x >= 0 {
+			p.informed[x][u] = true
+			draft(u).Completeness = &sim.CompletenessAnn{Source: x, Count: p.countOf[x]}
+		}
+	}
+
+	// Task 2: answer the previous round's requests (only for sources we are
+	// complete with respect to, which is the only way u could have asked).
+	for _, u := range p.edges.nbrs {
+		req, ok := p.answer[u]
+		if !ok {
+			continue
+		}
+		delete(p.answer, u)
+		g := p.lookupGlobal(req.Owner, req.Index)
+		if g == token.None || !p.iv[req.Owner] {
+			continue
+		}
+		draft(u).Token = &sim.TokenPayload{
+			ID: g, Owner: req.Owner, Index: req.Index, Count: p.countOf[req.Owner],
+		}
+	}
+	for u := range p.answer {
+		if !p.edges.adjacent(u) {
+			delete(p.answer, u)
+		}
+	}
+
+	// Task 3: requests for the minimum-ID incomplete source with a known
+	// complete node, using Algorithm 1's edge priority.
+	p.sendRequests(draft)
+
+	out := make([]sim.Message, 0, len(drafts))
+	for _, u := range p.edges.nbrs {
+		if m, ok := drafts[u]; ok && !m.Empty() {
+			out = append(out, *m)
+		}
+	}
+	return out
+}
+
+// minUnannounced returns the minimum source x ∈ I_v with u ∉ R_v(x), or -1.
+func (p *MultiSource) minUnannounced(u graph.NodeID) graph.NodeID {
+	best := -1
+	for x := range p.iv {
+		if p.informed[x] == nil {
+			p.informed[x] = make(map[graph.NodeID]bool)
+		}
+		if !p.informed[x][u] && (best == -1 || x < best) {
+			best = x
+		}
+	}
+	return best
+}
+
+// target returns the minimum source x ∉ I_v with S_v(x) ≠ ∅, or -1.
+func (p *MultiSource) target() graph.NodeID {
+	best := -1
+	for x, nodes := range p.heard {
+		if p.iv[x] || len(nodes) == 0 {
+			continue
+		}
+		if best == -1 || x < best {
+			best = x
+		}
+	}
+	return best
+}
+
+// sendRequests runs Algorithm 1's request assignment against the target
+// source.
+func (p *MultiSource) sendRequests(draft func(graph.NodeID) *sim.Message) {
+	x := p.target()
+	if x < 0 || p.countOf[x] == 0 {
+		return
+	}
+	arriving := make(map[int]bool, len(p.inFlight))
+	for _, req := range p.inFlight {
+		if req.Owner == x {
+			arriving[req.Index] = true
+		}
+	}
+	var missing []int
+	for i := 1; i <= p.countOf[x]; i++ {
+		if !p.have[x][i] && !arriving[i] {
+			missing = append(missing, i)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	var newE, idleE, contribE []graph.NodeID
+	for _, u := range p.edges.nbrs {
+		if !p.heard[x][u] {
+			continue // u is not known-complete w.r.t. x
+		}
+		if _, busy := p.sentNow[u]; busy {
+			continue
+		}
+		_, pending := p.inFlight[u]
+		switch p.edges.class(u, pending) {
+		case edgeNew:
+			newE = append(newE, u)
+		case edgeIdle:
+			idleE = append(idleE, u)
+		case edgeContributive:
+			contribE = append(contribE, u)
+		}
+	}
+	ordered := make([]graph.NodeID, 0, len(newE)+len(idleE)+len(contribE))
+	ordered = append(ordered, newE...)
+	ordered = append(ordered, idleE...)
+	ordered = append(ordered, contribE...)
+	j := 0
+	for _, u := range ordered {
+		if j >= len(missing) {
+			break
+		}
+		req := sim.RequestPayload{Owner: x, Index: missing[j]}
+		j++
+		p.sentNow[u] = req
+		draft(u).Request = &req
+	}
+}
+
+// lookupGlobal returns the global ID of (owner, index) if held.
+func (p *MultiSource) lookupGlobal(x graph.NodeID, index int) token.ID {
+	g := p.globals[x]
+	if index < 1 || index >= len(g) {
+		return token.None
+	}
+	return g[index]
+}
+
+// Deliver implements sim.Protocol.
+func (p *MultiSource) Deliver(r int, in []sim.Message) {
+	sort.Slice(in, func(i, j int) bool { return in[i].From < in[j].From })
+	for i := range in {
+		m := &in[i]
+		if m.Completeness != nil {
+			x := m.Completeness.Source
+			p.ensureSource(x, m.Completeness.Count)
+			if p.heard[x] == nil {
+				p.heard[x] = make(map[graph.NodeID]bool)
+			}
+			p.heard[x][m.From] = true
+		}
+		if m.Request != nil {
+			p.answer[m.From] = *m.Request
+		}
+		if m.Token != nil {
+			p.acceptToken(m.From, m.Token)
+		}
+	}
+}
+
+// acceptToken records a received token and updates per-source completeness.
+func (p *MultiSource) acceptToken(from graph.NodeID, t *sim.TokenPayload) {
+	x := t.Owner
+	p.ensureSource(x, t.Count)
+	if p.countOf[x] == 0 || t.Index < 1 || t.Index > p.countOf[x] {
+		return
+	}
+	if p.have[x][t.Index] {
+		return
+	}
+	p.have[x][t.Index] = true
+	p.globals[x][t.Index] = t.ID
+	p.haveCount[x]++
+	p.edges.markContributive(from)
+	if _, ok := p.inFlight[from]; ok && p.inFlight[from].Owner == x && p.inFlight[from].Index == t.Index {
+		delete(p.inFlight, from)
+	}
+	if p.haveCount[x] == p.countOf[x] && !p.iv[x] {
+		p.iv[x] = true
+		if p.informed[x] == nil {
+			p.informed[x] = make(map[graph.NodeID]bool)
+		}
+	}
+}

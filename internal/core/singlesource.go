@@ -1,0 +1,294 @@
+package core
+
+import (
+	"sort"
+
+	"dynspread/internal/graph"
+	"dynspread/internal/sim"
+	"dynspread/internal/token"
+)
+
+// SingleSource implements Algorithm 1 (Single-Source-Unicast). All k tokens
+// start at one source node, which labels them 1..k. Only complete nodes
+// (holders of all k tokens) send tokens; they announce their completeness to
+// each neighbor at most once and answer the previous round's requests.
+// Incomplete nodes assign at most one distinct missing-token request per
+// edge to a known-complete neighbor, preferring new edges, then idle edges,
+// then contributive edges — the priority that drives the futile-round
+// analysis of Theorem 3.4.
+type SingleSource struct {
+	env  sim.NodeEnv
+	opts SingleSourceOpts
+
+	// haveIdx[i] (1-based) reports whether the token with source index i is
+	// held; idxToGlobal maps an index to the token's global identity once
+	// known. The source fills both at construction.
+	haveIdx     []bool
+	haveCount   int
+	idxToGlobal []token.ID
+	source      graph.NodeID // learned from announcements; -1 until known
+
+	complete bool
+	// informed tracks the nodes this (complete) node has announced to — the
+	// "at most once per node" rule that caps announcements at O(n²) total.
+	informed map[graph.NodeID]bool
+	// answer[u] is the token index u requested last round (0 = none).
+	answer map[graph.NodeID]int
+
+	round int
+	edges *edgeTracker
+	// inFlight[u] is the index requested over edge {v,u} in the previous
+	// round (awaiting the token this round); sentNow is the current round's
+	// requests, promoted to inFlight at the next BeginRound.
+	inFlight map[graph.NodeID]int
+	sentNow  map[graph.NodeID]int
+}
+
+// SingleSourceOpts tunes Algorithm 1 for ablation experiments.
+type SingleSourceOpts struct {
+	// RandomPriority replaces the new > idle > contributive request-edge
+	// priority with a uniformly random edge order — the E9 ablation that
+	// disables the futile-round machinery of Lemmas 3.2/3.3.
+	RandomPriority bool
+	// Stats, when non-nil, receives cross-node instrumentation (shared by
+	// every node of the run; the engine is single-threaded). Used by the
+	// Lemma 3.3 futile-round experiment.
+	Stats *SingleSourceStats
+}
+
+// SingleSourceStats aggregates instrumentation across all nodes of one run.
+type SingleSourceStats struct {
+	// ContribRequestRounds marks rounds in which some node assigned a
+	// request to a contributive edge (the negation of the first futile-round
+	// condition of Definition 3.3).
+	ContribRequestRounds map[int]bool
+	// RequestsByClass counts assigned requests per edge class
+	// (new, idle, contributive).
+	RequestsByClass [3]int64
+	// LastRequestRound is the last round any node sent a token request
+	// (Lemma 3.3 counts futile rounds up to this point).
+	LastRequestRound int
+}
+
+// NewSingleSourceStats returns an empty stats collector.
+func NewSingleSourceStats() *SingleSourceStats {
+	return &SingleSourceStats{ContribRequestRounds: make(map[int]bool)}
+}
+
+// NewSingleSource returns the Algorithm 1 factory.
+func NewSingleSource() sim.Factory { return NewSingleSourceWithOpts(SingleSourceOpts{}) }
+
+// NewSingleSourceWithOpts returns the Algorithm 1 factory with ablations.
+func NewSingleSourceWithOpts(opts SingleSourceOpts) sim.Factory {
+	return func(env sim.NodeEnv) sim.Protocol {
+		p := &SingleSource{
+			env:         env,
+			opts:        opts,
+			haveIdx:     make([]bool, env.K+1),
+			idxToGlobal: make([]token.ID, env.K+1),
+			source:      -1,
+			informed:    make(map[graph.NodeID]bool),
+			answer:      make(map[graph.NodeID]int),
+			edges:       newEdgeTracker(),
+			inFlight:    make(map[graph.NodeID]int),
+			sentNow:     make(map[graph.NodeID]int),
+		}
+		for i := range p.idxToGlobal {
+			p.idxToGlobal[i] = token.None
+		}
+		for _, t := range env.Initial {
+			info := env.InfoOf(t)
+			p.haveIdx[info.Index] = true
+			p.idxToGlobal[info.Index] = t
+			p.haveCount++
+		}
+		if p.haveCount == env.K {
+			// The source is complete with respect to itself at time 0.
+			p.complete = true
+			p.source = env.ID
+		}
+		return p
+	}
+}
+
+// BeginRound implements sim.Protocol.
+func (p *SingleSource) BeginRound(r int, neighbors []graph.NodeID) {
+	p.round = r
+	p.edges.beginRound(r, neighbors)
+	// Promote last round's requests: those whose edge survived will deliver
+	// a token at the end of this round; the rest were wasted by an edge
+	// removal (charged to the adversary's TC budget).
+	for u := range p.inFlight {
+		delete(p.inFlight, u)
+	}
+	for u, idx := range p.sentNow {
+		if p.edges.adjacent(u) {
+			p.inFlight[u] = idx
+		}
+		delete(p.sentNow, u)
+	}
+}
+
+// Send implements sim.Protocol.
+func (p *SingleSource) Send(r int) []sim.Message {
+	if p.complete {
+		return p.sendComplete()
+	}
+	return p.sendIncomplete()
+}
+
+// sendComplete handles lines 1–6 of Algorithm 1: announce completeness
+// once per node, otherwise answer the previous round's request.
+func (p *SingleSource) sendComplete() []sim.Message {
+	var out []sim.Message
+	for _, u := range p.edges.nbrs {
+		switch {
+		case !p.informed[u]:
+			p.informed[u] = true
+			out = append(out, sim.Message{
+				From: p.env.ID, To: u,
+				Completeness: &sim.CompletenessAnn{Source: p.source, Count: p.env.K},
+			})
+		case p.answer[u] != 0:
+			idx := p.answer[u]
+			p.answer[u] = 0
+			g := p.idxToGlobal[idx]
+			if g == token.None {
+				continue
+			}
+			out = append(out, sim.Message{
+				From: p.env.ID, To: u,
+				Token: &sim.TokenPayload{ID: g, Owner: p.source, Index: idx, Count: p.env.K},
+			})
+		}
+	}
+	// Drop stale answers for nodes no longer adjacent: if the edge comes
+	// back the requester re-requests.
+	for u := range p.answer {
+		if !p.edges.adjacent(u) {
+			delete(p.answer, u)
+		}
+	}
+	return out
+}
+
+// sendIncomplete handles lines 7–20: assign one distinct missing-token
+// request per edge to a known-complete neighbor, new edges first, then idle,
+// then contributive.
+func (p *SingleSource) sendIncomplete() []sim.Message {
+	if p.source == -1 {
+		return nil // no completeness announcement heard yet
+	}
+	// Tokens already arriving this round must not be re-requested.
+	arriving := make(map[int]bool, len(p.inFlight))
+	for _, idx := range p.inFlight {
+		arriving[idx] = true
+	}
+	var missing []int
+	for i := 1; i <= p.env.K; i++ {
+		if !p.haveIdx[i] && !arriving[i] {
+			missing = append(missing, i)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	// Candidate edges: current neighbors known to be complete, bucketed by
+	// class. Within a class, neighbor ID order keeps runs deterministic.
+	var newE, idleE, contribE []graph.NodeID
+	for _, u := range p.edges.nbrs {
+		if !p.informed[u] {
+			continue // u has not announced completeness to us
+		}
+		_, pending := p.inFlight[u]
+		switch p.edges.class(u, pending) {
+		case edgeNew:
+			newE = append(newE, u)
+		case edgeIdle:
+			idleE = append(idleE, u)
+		case edgeContributive:
+			contribE = append(contribE, u)
+		}
+	}
+	type cand struct {
+		u     graph.NodeID
+		class edgeClass
+	}
+	ordered := make([]cand, 0, len(newE)+len(idleE)+len(contribE))
+	for _, u := range newE {
+		ordered = append(ordered, cand{u, edgeNew})
+	}
+	for _, u := range idleE {
+		ordered = append(ordered, cand{u, edgeIdle})
+	}
+	for _, u := range contribE {
+		ordered = append(ordered, cand{u, edgeContributive})
+	}
+	if p.opts.RandomPriority {
+		p.env.Rng.Shuffle(len(ordered), func(i, j int) {
+			ordered[i], ordered[j] = ordered[j], ordered[i]
+		})
+	}
+
+	out := make([]sim.Message, 0, len(ordered))
+	j := 0
+	for _, c := range ordered {
+		if j >= len(missing) {
+			break
+		}
+		idx := missing[j]
+		j++
+		p.sentNow[c.u] = idx
+		if st := p.opts.Stats; st != nil {
+			st.RequestsByClass[int(c.class)-1]++
+			if c.class == edgeContributive {
+				st.ContribRequestRounds[p.round] = true
+			}
+			if p.round > st.LastRequestRound {
+				st.LastRequestRound = p.round
+			}
+		}
+		out = append(out, sim.Message{
+			From: p.env.ID, To: c.u,
+			Request: &sim.RequestPayload{Owner: p.source, Index: idx},
+		})
+	}
+	return out
+}
+
+// Deliver implements sim.Protocol. Note the field name collision: for an
+// incomplete node, "informed" records which neighbors announced THEIR
+// completeness (the paper's S_v); for a complete node it records whom WE
+// announced to (the paper's R_v). A node is never both at once, and on the
+// round it completes the map is reset.
+func (p *SingleSource) Deliver(r int, in []sim.Message) {
+	sort.Slice(in, func(i, j int) bool { return in[i].From < in[j].From })
+	for i := range in {
+		m := &in[i]
+		if m.Completeness != nil && !p.complete {
+			p.source = m.Completeness.Source
+			p.informed[m.From] = true
+		}
+		if m.Request != nil {
+			p.answer[m.From] = m.Request.Index
+		}
+		if m.Token != nil {
+			if !p.haveIdx[m.Token.Index] {
+				p.haveIdx[m.Token.Index] = true
+				p.idxToGlobal[m.Token.Index] = m.Token.ID
+				p.haveCount++
+				p.edges.markContributive(m.From)
+			}
+			if _, ok := p.inFlight[m.From]; ok && p.inFlight[m.From] == m.Token.Index {
+				delete(p.inFlight, m.From)
+			}
+		}
+	}
+	if !p.complete && p.haveCount == p.env.K {
+		p.complete = true
+		// Switch the map's role from S_v to R_v: start announcing afresh.
+		p.informed = make(map[graph.NodeID]bool)
+		p.sentNow = make(map[graph.NodeID]int)
+		p.inFlight = make(map[graph.NodeID]int)
+	}
+}

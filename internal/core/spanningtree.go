@@ -1,0 +1,148 @@
+package core
+
+import (
+	"sort"
+
+	"dynspread/internal/graph"
+	"dynspread/internal/sim"
+	"dynspread/internal/token"
+)
+
+// SpanningTree is the static-network baseline from the paper's introduction:
+// build a rooted spanning tree (costing up to Θ(n²) messages on dense graphs
+// in the KT0 model), then pipeline all k tokens down the tree — O(n + k)
+// rounds and O(n² + nk) messages overall, i.e. O(n²/k + n) amortized. It is
+// only correct on a static (or at least tree-stable) topology; running it
+// under real churn is exactly the failure mode that motivates the paper.
+//
+// Tree construction: the source floods CtrlTreeInvite; on its first invite a
+// node adopts the sender as parent, replies CtrlTreeAccept, and re-floods the
+// invite to its other neighbors. Distribution: each node forwards received
+// tokens to every child, one token per child per round, in index order.
+type SpanningTree struct {
+	env sim.NodeEnv
+
+	isSource bool
+	parent   graph.NodeID // -1 until joined
+	joined   bool
+	invited  map[graph.NodeID]bool // neighbors already sent an invite
+	children []graph.NodeID
+
+	// queue of tokens to push down, in arrival order; nextToSend[c] indexes
+	// into queue per child.
+	queue      []sim.TokenPayload
+	nextToSend map[graph.NodeID]int
+
+	pendingInvite bool // send invites next round
+	acceptPending bool // owe the parent a CtrlTreeAccept
+	nbrs          []graph.NodeID
+}
+
+// NewSpanningTree returns the baseline factory.
+func NewSpanningTree() sim.Factory {
+	return func(env sim.NodeEnv) sim.Protocol {
+		p := &SpanningTree{
+			env:        env,
+			parent:     -1,
+			invited:    make(map[graph.NodeID]bool),
+			nextToSend: make(map[graph.NodeID]int),
+		}
+		if len(env.Initial) > 0 {
+			p.isSource = true
+			p.joined = true
+			p.pendingInvite = true
+			ordered := append([]token.ID(nil), env.Initial...)
+			sort.Ints(ordered)
+			for i, t := range ordered {
+				p.queue = append(p.queue, sim.TokenPayload{
+					ID: t, Owner: env.ID, Index: i + 1, Count: len(ordered),
+				})
+			}
+		}
+		return p
+	}
+}
+
+// BeginRound implements sim.Protocol.
+func (p *SpanningTree) BeginRound(_ int, neighbors []graph.NodeID) { p.nbrs = neighbors }
+
+// Send implements sim.Protocol.
+func (p *SpanningTree) Send(_ int) []sim.Message {
+	var out []sim.Message
+	sentTo := make(map[graph.NodeID]bool)
+	// Invitation wave.
+	if p.joined && p.pendingInvite {
+		for _, u := range p.nbrs {
+			if u == p.parent || p.invited[u] {
+				continue
+			}
+			p.invited[u] = true
+			sentTo[u] = true
+			out = append(out, sim.Message{
+				From: p.env.ID, To: u,
+				Control: &sim.ControlPayload{Kind: sim.CtrlTreeInvite},
+			})
+		}
+		p.pendingInvite = false
+	}
+	// Accept reply to a freshly adopted parent.
+	if p.acceptPending && p.parentAdjacent() && !sentTo[p.parent] {
+		p.acceptPending = false
+		sentTo[p.parent] = true
+		out = append(out, sim.Message{
+			From: p.env.ID, To: p.parent,
+			Control: &sim.ControlPayload{Kind: sim.CtrlTreeAccept},
+		})
+	}
+	// Pipeline one token per child per round.
+	for _, c := range p.children {
+		if sentTo[c] || !p.adjacent(c) {
+			continue
+		}
+		i := p.nextToSend[c]
+		if i >= len(p.queue) {
+			continue
+		}
+		tp := p.queue[i]
+		p.nextToSend[c] = i + 1
+		out = append(out, sim.Message{From: p.env.ID, To: c, Token: &tp})
+	}
+	return out
+}
+
+func (p *SpanningTree) adjacent(u graph.NodeID) bool {
+	for _, v := range p.nbrs {
+		if v == u {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *SpanningTree) parentAdjacent() bool {
+	return p.parent >= 0 && p.adjacent(p.parent)
+}
+
+// Deliver implements sim.Protocol.
+func (p *SpanningTree) Deliver(_ int, in []sim.Message) {
+	for i := range in {
+		m := &in[i]
+		if m.Control != nil {
+			switch m.Control.Kind {
+			case sim.CtrlTreeInvite:
+				if !p.joined {
+					p.joined = true
+					p.parent = m.From
+					p.acceptPending = true
+					p.pendingInvite = true
+				}
+			case sim.CtrlTreeAccept:
+				p.children = append(p.children, m.From)
+				sort.Ints(p.children)
+			}
+		}
+		if m.Token != nil {
+			p.queue = append(p.queue, *m.Token)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"dynspread/internal/bitset"
+	"dynspread/internal/graph"
+	"dynspread/internal/sim"
+	"dynspread/internal/token"
+)
+
+// Topkis is the second static-network baseline from the introduction
+// (Topkis [39]): in every round, every node sends to each neighbor an
+// arbitrary held token it has not yet sent to that neighbor. On a static
+// connected n-node graph this solves k-token dissemination in O(n + k)
+// rounds without any tree structure — but it sends up to one message per
+// edge direction per round, so its message complexity is Θ(m·(n+k)) and its
+// amortized cost has no adversary-competitive guarantee under churn. It
+// exists as the contrast point to Algorithm 1's frugality.
+type Topkis struct {
+	env  sim.NodeEnv
+	know *bitset.Set
+	sent map[graph.NodeID]*bitset.Set
+	nbrs []graph.NodeID
+}
+
+// NewTopkis returns the baseline factory.
+func NewTopkis() sim.Factory {
+	return func(env sim.NodeEnv) sim.Protocol {
+		p := &Topkis{
+			env:  env,
+			know: bitset.New(env.K),
+			sent: make(map[graph.NodeID]*bitset.Set),
+		}
+		for _, t := range env.Initial {
+			p.know.Add(t)
+		}
+		return p
+	}
+}
+
+// BeginRound implements sim.Protocol.
+func (p *Topkis) BeginRound(_ int, neighbors []graph.NodeID) { p.nbrs = neighbors }
+
+// Send implements sim.Protocol: the lowest held token not yet sent to each
+// neighbor ("an arbitrary not yet forwarded token").
+func (p *Topkis) Send(_ int) []sim.Message {
+	out := make([]sim.Message, 0, len(p.nbrs))
+	for _, u := range p.nbrs {
+		s := p.sent[u]
+		if s == nil {
+			s = bitset.New(p.env.K)
+			p.sent[u] = s
+		}
+		t := pickUnsent(p.know, s)
+		if t == token.None {
+			continue
+		}
+		s.Add(t)
+		info := p.env.InfoOf(t)
+		out = append(out, sim.Message{
+			From: p.env.ID, To: u,
+			Token: &sim.TokenPayload{ID: t, Owner: info.Source, Index: info.Index},
+		})
+	}
+	return out
+}
+
+// pickUnsent returns the lowest token in know but not in sentTo, or None.
+func pickUnsent(know, sentTo *bitset.Set) token.ID {
+	for _, t := range know.Elements() {
+		if !sentTo.Contains(t) {
+			return t
+		}
+	}
+	return token.None
+}
+
+// Deliver implements sim.Protocol.
+func (p *Topkis) Deliver(_ int, in []sim.Message) {
+	for i := range in {
+		if in[i].Token != nil {
+			p.know.Add(in[i].Token.ID)
+		}
+	}
+}

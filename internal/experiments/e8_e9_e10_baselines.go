@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dynspread/internal/adversary"
+	"dynspread/internal/core"
+	"dynspread/internal/graph"
+	"dynspread/internal/sim"
+	"dynspread/internal/tablefmt"
+	"dynspread/internal/token"
+)
+
+// E8StaticBaseline reproduces the introduction's static-network baseline:
+// spanning-tree pipelining solves k-gossip from one source in O(n + k)
+// rounds with O(n² + nk) messages, i.e. O(n²/k + n) amortized — the numbers
+// against which the dynamic-network results are contrasted.
+func E8StaticBaseline(cfg Config) (*tablefmt.Table, error) {
+	ns := cfg.pick([]int{16, 32}, []int{16, 32, 64, 128})
+	tb := &tablefmt.Table{
+		Title:  "E8 (Introduction): static spanning-tree baseline",
+		Header: []string{"n", "k", "graph m", "rounds", "n+k", "rounds/(n+k)", "messages", "amortized/token", "n²/k+n"},
+	}
+	for _, n := range ns {
+		for _, k := range []int{n / 2, n, 4 * n} {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(n*k)))
+			g := graph.RandomConnected(n, 3*n, rng)
+			assign, err := token.SingleSource(n, k, 0)
+			if err != nil {
+				return nil, err
+			}
+			res, err := sim.RunUnicast(sim.UnicastConfig{
+				Assign:    assign,
+				Factory:   core.NewSpanningTree(),
+				Adversary: adversary.Oblivious(adversary.NewStatic(g)),
+				Seed:      cfg.Seed,
+				MaxRounds: 20 * (n + k),
+			})
+			if err != nil {
+				return nil, err
+			}
+			if !res.Completed {
+				return nil, fmt.Errorf("incomplete n=%d k=%d", n, k)
+			}
+			tb.AddRowf(n, k, g.M(), res.Rounds, n+k,
+				float64(res.Rounds)/float64(n+k), res.Metrics.Messages,
+				res.Metrics.AmortizedPerToken(k), float64(n*n)/float64(k)+float64(n))
+		}
+	}
+	tb.Notes = "rounds/(n+k) must be O(1); amortized messages approach O(n) as k grows (last column is the paper's static bound)."
+	return tb, nil
+}
+
+// E9PriorityAblation compares Algorithm 1's new > idle > contributive
+// request priority against a randomized edge order under the adaptive
+// request cutter. The priority rule is what powers the futile-round analysis
+// (Lemmas 3.2/3.3); the ablation shows it is not just an analysis device.
+func E9PriorityAblation(cfg Config) (*tablefmt.Table, error) {
+	ns := cfg.pick([]int{24}, []int{32, 64})
+	tb := &tablefmt.Table{
+		Title:  "E9 (ablation): Algorithm 1 request-priority order under the request cutter",
+		Header: []string{"n", "k", "priority", "rounds", "messages", "requests", "residual M−TC"},
+	}
+	for _, n := range ns {
+		k := 2 * n
+		assign, err := token.SingleSource(n, k, 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, tc := range []struct {
+			name string
+			opts core.SingleSourceOpts
+		}{
+			{"paper (new>idle>contrib)", core.SingleSourceOpts{}},
+			{"random order", core.SingleSourceOpts{RandomPriority: true}},
+		} {
+			trials := cfg.trials()
+			specs := make([]sim.Trial, trials)
+			for trial := 0; trial < trials; trial++ {
+				seed := int64(trial)
+				opts := tc.opts
+				specs[trial] = func() (*sim.Result, error) {
+					cutter, err := adversary.NewRequestCutter(n, 0, 0.6, cfg.Seed+seed*997+int64(n))
+					if err != nil {
+						return nil, err
+					}
+					return sim.RunUnicast(sim.UnicastConfig{
+						Assign:    assign,
+						Factory:   core.NewSingleSourceWithOpts(opts),
+						Adversary: cutter,
+						Seed:      cfg.Seed + seed,
+						MaxRounds: 800 * n * k,
+					})
+				}
+			}
+			results, err := sim.RunParallel(specs, trials)
+			if err != nil {
+				return nil, err
+			}
+			var rounds, msgs, reqs, resid int64
+			for _, res := range results {
+				if !res.Completed {
+					return nil, fmt.Errorf("incomplete n=%d priority=%s", n, tc.name)
+				}
+				rounds += int64(res.Rounds)
+				msgs += res.Metrics.Messages
+				reqs += res.Metrics.RequestPayloads
+				resid += int64(res.Metrics.Competitive(1))
+			}
+			d := int64(trials)
+			tb.AddRowf(n, k, tc.name, rounds/d, msgs/d, reqs/d, resid/d)
+		}
+	}
+	tb.Notes = "Both orders satisfy Theorem 3.1's message bound; the paper's priority exists for the termination analysis (Theorem 3.4)."
+	return tb, nil
+}
+
+// E10CenterSweep sweeps the center density of Algorithm 2 (the CF multiplier
+// on f = n^{1/2}k^{1/4}log^{5/4}n) and reports the phase-1 (walk, ≈ kL) vs
+// phase-2 (dissemination, ≈ fn² + nk) message split — the kL = fn² balance
+// that Theorem 3.8's optimization of f equalizes.
+func E10CenterSweep(cfg Config) (*tablefmt.Table, error) {
+	n := 32
+	if !cfg.Quick {
+		n = 48
+	}
+	k := 2 * n
+	tb := &tablefmt.Table{
+		Title:  fmt.Sprintf("E10 (ablation): Algorithm 2 center-density sweep at n=%d, k=%d, s=n", n, k),
+		Header: []string{"CF", "centers f (target)", "rounds", "walk msgs (phase 1)", "other msgs (phase 2)", "total", "amortized/token"},
+	}
+	assign, err := token.Balanced(n, k, n)
+	if err != nil {
+		return nil, err
+	}
+	for _, cf := range []float64{0.02, 0.05, 0.1, 0.2, 0.5} {
+		params := core.ResolveObliviousParams(n, k, n, core.ObliviousOpts{CF: cf, ForceTwoPhase: true})
+		reg, err := adversary.NewRegular(n, 6, cfg.Seed+int64(cf*1000))
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.RunUnicast(sim.UnicastConfig{
+			Assign:    assign,
+			Factory:   core.NewOblivious(core.ObliviousOpts{Seed: cfg.Seed + 2, CF: cf, ForceTwoPhase: true}),
+			Adversary: adversary.Oblivious(reg),
+			Seed:      cfg.Seed,
+			MaxRounds: 4000 * n,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !res.Completed {
+			return nil, fmt.Errorf("incomplete at CF=%g", cf)
+		}
+		walkMsgs := res.Metrics.WalkPayloads
+		tb.AddRowf(cf, params.F, res.Rounds, walkMsgs, res.Metrics.Messages-walkMsgs,
+			res.Metrics.Messages, res.Metrics.AmortizedPerToken(k))
+	}
+	tb.Notes = "Theorem 3.8 balances phase-1 walk cost (≈kL, growing as centers shrink) against phase-2 " +
+		"source cost (≈fn², growing with centers). At simulable n the fn² announcement term dominates the " +
+		"whole sweep, so the measured optimum sits at the low-CF end — consistent with the paper's f being " +
+		"sublinear in n; the walk term would only take over at much larger n/k."
+	return tb, nil
+}

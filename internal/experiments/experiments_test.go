@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config { return Config{Quick: true, Seed: 42} }
+
+func TestAllRunnersListed(t *testing.T) {
+	rs := All()
+	if len(rs) != 13 {
+		t.Fatalf("got %d runners, want 13", len(rs))
+	}
+	seen := map[string]bool{}
+	for _, r := range rs {
+		if r.ID == "" || r.Name == "" || r.Run == nil {
+			t.Fatalf("malformed runner %+v", r)
+		}
+		if seen[r.ID] {
+			t.Fatalf("duplicate ID %s", r.ID)
+		}
+		seen[r.ID] = true
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	if (Config{Quick: true}).trials() != 1 {
+		t.Fatal("quick trials != 1")
+	}
+	if (Config{}).trials() != 3 {
+		t.Fatal("full trials != 3")
+	}
+	if (Config{Trials: 7}).trials() != 7 {
+		t.Fatal("explicit trials ignored")
+	}
+	got := Config{Quick: true}.pick([]int{1}, []int{2})
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatal("pick quick wrong")
+	}
+}
+
+// Each experiment runs at quick scale and produces a plausible table. These
+// are integration tests across the whole stack (engine, adversaries,
+// algorithms).
+
+func runExp(t *testing.T, id string) {
+	t.Helper()
+	for _, r := range All() {
+		if r.ID != id {
+			continue
+		}
+		tb, err := r.Run(quickCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tb.Title == "" || len(tb.Header) == 0 || len(tb.Rows) == 0 {
+			t.Fatalf("%s produced empty table", id)
+		}
+		// Render paths must not panic and must contain the data.
+		if !strings.Contains(tb.Markdown(), tb.Rows[0][0]) {
+			t.Fatalf("%s markdown missing first cell", id)
+		}
+		return
+	}
+	t.Fatalf("experiment %s not found", id)
+}
+
+func TestE1Quick(t *testing.T)  { runExp(t, "E1") }
+func TestE2Quick(t *testing.T)  { runExp(t, "E2") }
+func TestE3Quick(t *testing.T)  { runExp(t, "E3") }
+func TestE4Quick(t *testing.T)  { runExp(t, "E4") }
+func TestE5Quick(t *testing.T)  { runExp(t, "E5") }
+func TestE6Quick(t *testing.T)  { runExp(t, "E6") }
+func TestE7Quick(t *testing.T)  { runExp(t, "E7") }
+func TestE8Quick(t *testing.T)  { runExp(t, "E8") }
+func TestE9Quick(t *testing.T)  { runExp(t, "E9") }
+func TestE10Quick(t *testing.T) { runExp(t, "E10") }
+func TestE11Quick(t *testing.T) { runExp(t, "E11") }
+func TestE12Quick(t *testing.T) { runExp(t, "E12") }
+func TestE13Quick(t *testing.T) { runExp(t, "E13") }

@@ -1,0 +1,104 @@
+package graph
+
+// Diff captures the topological change between two consecutive round graphs:
+// Inserted = E_r \ E_{r-1} (the paper's E+_r) and Removed = E_{r-1} \ E_r
+// (E-_r). Both slices are in canonical sorted order.
+type Diff struct {
+	Inserted []Edge
+	Removed  []Edge
+}
+
+// Compute returns the diff from prev to next. A nil prev is treated as the
+// empty graph G_0 = (V, ∅), matching the paper's convention E_0 := ∅.
+func Compute(prev, next *Graph) Diff {
+	var d Diff
+	if next == nil {
+		if prev != nil {
+			d.Removed = prev.Edges()
+		}
+		return d
+	}
+	if prev == nil {
+		d.Inserted = next.Edges()
+		return d
+	}
+	for _, e := range next.Edges() {
+		if !prev.HasEdge(e.U, e.V) {
+			d.Inserted = append(d.Inserted, e)
+		}
+	}
+	for _, e := range prev.Edges() {
+		if !next.HasEdge(e.U, e.V) {
+			d.Removed = append(d.Removed, e)
+		}
+	}
+	return d
+}
+
+// StabilityTracker verifies σ-edge-stability of a dynamic graph sequence as
+// defined in the paper: after an edge appears, it must remain present for at
+// least σ consecutive rounds. Feed it every round's graph in order.
+type StabilityTracker struct {
+	sigma      int
+	round      int
+	insertedAt map[Edge]int // round the edge was last inserted
+	prev       *Graph
+	violations []StabilityViolation
+}
+
+// StabilityViolation records an edge removed before its σ rounds elapsed.
+type StabilityViolation struct {
+	E          Edge
+	InsertedAt int
+	RemovedAt  int // the round in which the edge is no longer present
+}
+
+// NewStabilityTracker returns a tracker for σ-edge-stability (σ >= 1).
+func NewStabilityTracker(sigma int) *StabilityTracker {
+	if sigma < 1 {
+		sigma = 1
+	}
+	return &StabilityTracker{
+		sigma:      sigma,
+		insertedAt: make(map[Edge]int),
+	}
+}
+
+// Observe records the graph of the next round (rounds are 1-based).
+func (t *StabilityTracker) Observe(g *Graph) {
+	t.round++
+	d := Compute(t.prev, g)
+	for _, e := range d.Removed {
+		ins := t.insertedAt[e]
+		// The edge existed during rounds [ins, t.round-1]; lifetime in rounds:
+		life := t.round - ins
+		if life < t.sigma {
+			t.violations = append(t.violations, StabilityViolation{
+				E:          e,
+				InsertedAt: ins,
+				RemovedAt:  t.round,
+			})
+		}
+		delete(t.insertedAt, e)
+	}
+	for _, e := range d.Inserted {
+		t.insertedAt[e] = t.round
+	}
+	t.prev = g.Clone()
+}
+
+// Violations returns all σ-stability violations observed so far.
+func (t *StabilityTracker) Violations() []StabilityViolation { return t.violations }
+
+// OK reports whether no violation has been observed.
+func (t *StabilityTracker) OK() bool { return len(t.violations) == 0 }
+
+// Age returns the number of consecutive rounds (including the current one)
+// that edge e has been present, or 0 if absent. Valid after Observe.
+func (t *StabilityTracker) Age(e Edge) int {
+	ins, ok := t.insertedAt[e]
+	if !ok {
+		return 0
+	}
+	return t.round - ins + 1
+}

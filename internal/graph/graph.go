@@ -1,0 +1,307 @@
+// Package graph provides the dynamic-network substrate of the simulator:
+// undirected graph snapshots over a fixed node set V = {0..n-1}, connectivity
+// queries, per-round edge diffs (the paper's E+_r and E-_r), σ-edge-stability
+// tracking, and a library of graph generators used by the adversaries.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"dynspread/internal/unionfind"
+)
+
+// NodeID identifies a node; nodes are always 0..n-1.
+type NodeID = int
+
+// Edge is an undirected edge in canonical form (U < V).
+type Edge struct {
+	U, V NodeID
+}
+
+// NewEdge returns the canonical (U < V) edge between a and b.
+func NewEdge(a, b NodeID) Edge {
+	if a > b {
+		a, b = b, a
+	}
+	return Edge{U: a, V: b}
+}
+
+// Other returns the endpoint of e that is not x. It returns -1 if x is not an
+// endpoint.
+func (e Edge) Other(x NodeID) NodeID {
+	switch x {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	default:
+		return -1
+	}
+}
+
+// String renders the edge as {u,v}.
+func (e Edge) String() string { return fmt.Sprintf("{%d,%d}", e.U, e.V) }
+
+// Graph is a mutable undirected simple graph snapshot over n nodes.
+// The zero value is unusable; construct with New.
+type Graph struct {
+	n     int
+	edges map[Edge]struct{}
+	adj   []map[NodeID]struct{}
+}
+
+// New returns an empty graph over n nodes.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	g := &Graph{
+		n:     n,
+		edges: make(map[Edge]struct{}),
+		adj:   make([]map[NodeID]struct{}, n),
+	}
+	for i := range g.adj {
+		g.adj[i] = make(map[NodeID]struct{})
+	}
+	return g
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// AddEdge inserts the edge {a,b}. It reports whether the edge was newly
+// inserted (false for self-loops, out-of-range endpoints, or existing edges).
+func (g *Graph) AddEdge(a, b NodeID) bool {
+	if a == b || a < 0 || b < 0 || a >= g.n || b >= g.n {
+		return false
+	}
+	e := NewEdge(a, b)
+	if _, ok := g.edges[e]; ok {
+		return false
+	}
+	g.edges[e] = struct{}{}
+	g.adj[a][b] = struct{}{}
+	g.adj[b][a] = struct{}{}
+	return true
+}
+
+// RemoveEdge deletes the edge {a,b}, reporting whether it existed.
+func (g *Graph) RemoveEdge(a, b NodeID) bool {
+	if a == b || a < 0 || b < 0 || a >= g.n || b >= g.n {
+		return false
+	}
+	e := NewEdge(a, b)
+	if _, ok := g.edges[e]; !ok {
+		return false
+	}
+	delete(g.edges, e)
+	delete(g.adj[a], b)
+	delete(g.adj[b], a)
+	return true
+}
+
+// HasEdge reports whether {a,b} is present.
+func (g *Graph) HasEdge(a, b NodeID) bool {
+	if a < 0 || b < 0 || a >= g.n || b >= g.n {
+		return false
+	}
+	_, ok := g.edges[NewEdge(a, b)]
+	return ok
+}
+
+// Degree returns the degree of v (0 for out-of-range v).
+func (g *Graph) Degree(v NodeID) int {
+	if v < 0 || v >= g.n {
+		return 0
+	}
+	return len(g.adj[v])
+}
+
+// Neighbors returns v's neighbors in increasing order. The slice is owned by
+// the caller.
+func (g *Graph) Neighbors(v NodeID) []NodeID {
+	if v < 0 || v >= g.n {
+		return nil
+	}
+	out := make([]NodeID, 0, len(g.adj[v]))
+	for u := range g.adj[v] {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Edges returns all edges in canonical sorted order (by U, then V).
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, len(g.edges))
+	for e := range g.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for e := range g.edges {
+		c.AddEdge(e.U, e.V)
+	}
+	return c
+}
+
+// Equal reports whether g and o have the same node count and edge set.
+func (g *Graph) Equal(o *Graph) bool {
+	if g.n != o.n || len(g.edges) != len(o.edges) {
+		return false
+	}
+	for e := range g.edges {
+		if _, ok := o.edges[e]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// DSU returns a union-find structure with g's edges applied.
+func (g *Graph) DSU() *unionfind.DSU {
+	d := unionfind.New(g.n)
+	for e := range g.edges {
+		d.Union(e.U, e.V)
+	}
+	return d
+}
+
+// Connected reports whether the graph is connected (true for n <= 1).
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	return g.DSU().Components() == 1
+}
+
+// Components returns the number of connected components.
+func (g *Graph) Components() int { return g.DSU().Components() }
+
+// ConnectedWithout reports whether the graph stays connected after removing
+// edge e (which need not exist; then it is just Connected).
+func (g *Graph) ConnectedWithout(e Edge) bool {
+	if g.n <= 1 {
+		return true
+	}
+	d := unionfind.New(g.n)
+	for f := range g.edges {
+		if f == e {
+			continue
+		}
+		d.Union(f.U, f.V)
+	}
+	return d.Components() == 1
+}
+
+// BFSDistances returns the hop distances from src (-1 for unreachable nodes).
+func (g *Graph) BFSDistances(src NodeID) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if src < 0 || src >= g.n {
+		return dist
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Neighbors(v) {
+			if dist[u] == -1 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// BFSTree returns, for each node, its parent in a BFS tree rooted at src
+// (parent[src] = src; -1 for unreachable nodes).
+func (g *Graph) BFSTree(src NodeID) []NodeID {
+	parent := make([]NodeID, g.n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	if src < 0 || src >= g.n {
+		return parent
+	}
+	parent[src] = src
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Neighbors(v) {
+			if parent[u] == -1 {
+				parent[u] = v
+				queue = append(queue, u)
+			}
+		}
+	}
+	return parent
+}
+
+// Diameter returns the graph diameter (max over eccentricities), or -1 if the
+// graph is disconnected or empty.
+func (g *Graph) Diameter() int {
+	if g.n == 0 {
+		return -1
+	}
+	diam := 0
+	for v := 0; v < g.n; v++ {
+		for _, d := range g.BFSDistances(v) {
+			if d == -1 {
+				return -1
+			}
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}
+
+// Validate returns an error if internal adjacency/edge-set invariants are
+// violated (used by tests and the engine's paranoia checks).
+func (g *Graph) Validate() error {
+	count := 0
+	for v := range g.adj {
+		for u := range g.adj[v] {
+			if u == v {
+				return fmt.Errorf("graph: self-loop at %d", v)
+			}
+			if _, ok := g.edges[NewEdge(v, u)]; !ok {
+				return fmt.Errorf("graph: adjacency %d-%d missing from edge set", v, u)
+			}
+			count++
+		}
+	}
+	if count != 2*len(g.edges) {
+		return fmt.Errorf("graph: adjacency count %d != 2*edges %d", count, 2*len(g.edges))
+	}
+	for e := range g.edges {
+		if e.U >= e.V {
+			return fmt.Errorf("graph: non-canonical edge %v", e)
+		}
+		if e.U < 0 || e.V >= g.n {
+			return fmt.Errorf("graph: out-of-range edge %v", e)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,345 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEdgeCanonical(t *testing.T) {
+	e := NewEdge(5, 2)
+	if e.U != 2 || e.V != 5 {
+		t.Fatalf("NewEdge(5,2) = %v", e)
+	}
+	if NewEdge(2, 5) != e {
+		t.Fatal("canonical edges not equal")
+	}
+	if e.String() != "{2,5}" {
+		t.Fatalf("String = %q", e.String())
+	}
+}
+
+func TestEdgeOther(t *testing.T) {
+	e := NewEdge(1, 4)
+	if e.Other(1) != 4 || e.Other(4) != 1 {
+		t.Fatal("Other wrong")
+	}
+	if e.Other(7) != -1 {
+		t.Fatal("Other(non-endpoint) != -1")
+	}
+}
+
+func TestAddRemoveHasEdge(t *testing.T) {
+	g := New(5)
+	if !g.AddEdge(0, 1) {
+		t.Fatal("AddEdge returned false")
+	}
+	if g.AddEdge(1, 0) {
+		t.Fatal("duplicate AddEdge returned true")
+	}
+	if g.AddEdge(2, 2) {
+		t.Fatal("self-loop added")
+	}
+	if g.AddEdge(0, 5) || g.AddEdge(-1, 0) {
+		t.Fatal("out-of-range edge added")
+	}
+	if !g.HasEdge(1, 0) {
+		t.Fatal("HasEdge(1,0) false")
+	}
+	if g.M() != 1 {
+		t.Fatalf("M = %d", g.M())
+	}
+	if !g.RemoveEdge(0, 1) {
+		t.Fatal("RemoveEdge returned false")
+	}
+	if g.RemoveEdge(0, 1) {
+		t.Fatal("double RemoveEdge returned true")
+	}
+	if g.M() != 0 || g.HasEdge(0, 1) {
+		t.Fatal("edge not removed")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegreeNeighbors(t *testing.T) {
+	g := New(6)
+	g.AddEdge(3, 0)
+	g.AddEdge(3, 5)
+	g.AddEdge(3, 1)
+	if g.Degree(3) != 3 {
+		t.Fatalf("Degree = %d", g.Degree(3))
+	}
+	nbrs := g.Neighbors(3)
+	want := []int{0, 1, 5}
+	if len(nbrs) != 3 {
+		t.Fatalf("Neighbors = %v", nbrs)
+	}
+	for i := range want {
+		if nbrs[i] != want[i] {
+			t.Fatalf("Neighbors = %v, want %v", nbrs, want)
+		}
+	}
+	if g.Degree(-1) != 0 || g.Degree(6) != 0 {
+		t.Fatal("out-of-range degree nonzero")
+	}
+	if g.Neighbors(10) != nil {
+		t.Fatal("out-of-range neighbors non-nil")
+	}
+}
+
+func TestEdgesSorted(t *testing.T) {
+	g := New(5)
+	g.AddEdge(4, 3)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 1)
+	es := g.Edges()
+	want := []Edge{{0, 1}, {0, 2}, {3, 4}}
+	if len(es) != len(want) {
+		t.Fatalf("Edges = %v", es)
+	}
+	for i := range want {
+		if es[i] != want[i] {
+			t.Fatalf("Edges = %v, want %v", es, want)
+		}
+	}
+}
+
+func TestCloneEqual(t *testing.T) {
+	g := RandomConnected(20, 40, rand.New(rand.NewSource(1)))
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.AddEdge(0, 19)
+	c.RemoveEdge(0, 19)
+	// Mutate clone; original must be unaffected.
+	es := c.Edges()
+	c.RemoveEdge(es[0].U, es[0].V)
+	if g.Equal(c) {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	g := New(4)
+	if g.Connected() {
+		t.Fatal("empty 4-node graph connected")
+	}
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	if g.Components() != 2 {
+		t.Fatalf("Components = %d", g.Components())
+	}
+	g.AddEdge(1, 2)
+	if !g.Connected() {
+		t.Fatal("path not connected")
+	}
+	if !g.ConnectedWithout(NewEdge(0, 5)) {
+		t.Fatal("ConnectedWithout nonexistent edge")
+	}
+	if g.ConnectedWithout(NewEdge(1, 2)) {
+		t.Fatal("bridge removal should disconnect")
+	}
+	g.AddEdge(0, 3)
+	if !g.ConnectedWithout(NewEdge(1, 2)) {
+		t.Fatal("cycle should survive removal")
+	}
+}
+
+func TestTrivialConnected(t *testing.T) {
+	if !New(0).Connected() || !New(1).Connected() {
+		t.Fatal("n<=1 should be connected")
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := Path(5)
+	d := g.BFSDistances(0)
+	for i := 0; i < 5; i++ {
+		if d[i] != i {
+			t.Fatalf("dist[%d] = %d", i, d[i])
+		}
+	}
+	g2 := New(3)
+	g2.AddEdge(0, 1)
+	d2 := g2.BFSDistances(0)
+	if d2[2] != -1 {
+		t.Fatal("unreachable node distance != -1")
+	}
+	d3 := g.BFSDistances(-1)
+	for _, x := range d3 {
+		if x != -1 {
+			t.Fatal("invalid src should give all -1")
+		}
+	}
+}
+
+func TestBFSTree(t *testing.T) {
+	g := Star(5)
+	p := g.BFSTree(0)
+	if p[0] != 0 {
+		t.Fatal("root parent not self")
+	}
+	for i := 1; i < 5; i++ {
+		if p[i] != 0 {
+			t.Fatalf("parent[%d] = %d", i, p[i])
+		}
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	if d := Path(6).Diameter(); d != 5 {
+		t.Fatalf("path diameter = %d", d)
+	}
+	if d := Complete(6).Diameter(); d != 1 {
+		t.Fatalf("complete diameter = %d", d)
+	}
+	if d := Cycle(6).Diameter(); d != 3 {
+		t.Fatalf("cycle diameter = %d", d)
+	}
+	disc := New(3)
+	if disc.Diameter() != -1 {
+		t.Fatal("disconnected diameter != -1")
+	}
+	if New(0).Diameter() != -1 {
+		t.Fatal("empty diameter != -1")
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := []struct {
+		name  string
+		g     *Graph
+		wantM int
+	}{
+		{"path", Path(10), 9},
+		{"cycle", Cycle(10), 10},
+		{"star", Star(10), 9},
+		{"complete", Complete(10), 45},
+		{"grid", Grid(3, 4), 17},
+		{"tree", RandomTree(10, rng), 9},
+	}
+	for _, c := range cases {
+		if c.g.M() != c.wantM {
+			t.Errorf("%s: M = %d, want %d", c.name, c.g.M(), c.wantM)
+		}
+		if !c.g.Connected() {
+			t.Errorf("%s: not connected", c.name)
+		}
+		if err := c.g.Validate(); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+	}
+}
+
+func TestCycleSmall(t *testing.T) {
+	if Cycle(2).M() != 1 {
+		t.Fatal("Cycle(2) should be a single edge")
+	}
+	if Cycle(1).M() != 0 {
+		t.Fatal("Cycle(1) should be empty")
+	}
+}
+
+func TestRandomTreeProperty(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz)%60 + 1
+		g := RandomTree(n, rand.New(rand.NewSource(seed)))
+		wantM := n - 1
+		if n == 1 {
+			wantM = 0
+		}
+		return g.M() == wantM && g.Connected() && g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomConnectedProperty(t *testing.T) {
+	f := func(seed int64, sz, extra uint8) bool {
+		n := int(sz)%50 + 2
+		m := n - 1 + int(extra)
+		g := RandomConnected(n, m, rand.New(rand.NewSource(seed)))
+		maxM := n * (n - 1) / 2
+		wantM := m
+		if wantM > maxM {
+			wantM = maxM
+		}
+		if wantM < n-1 {
+			wantM = n - 1
+		}
+		return g.Connected() && g.M() >= n-1 && g.M() <= maxM && g.M() >= wantM && g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomRegularish(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, d := range []int{2, 4, 8} {
+		g := RandomRegularish(100, d, rng)
+		if !g.Connected() {
+			t.Fatalf("d=%d: not connected", d)
+		}
+		minDeg := 100
+		for v := 0; v < 100; v++ {
+			if g.Degree(v) < minDeg {
+				minDeg = g.Degree(v)
+			}
+		}
+		if minDeg < 2 {
+			t.Fatalf("d=%d: min degree %d < 2", d, minDeg)
+		}
+	}
+	// Degenerate sizes must not panic.
+	RandomRegularish(1, 4, rng)
+	RandomRegularish(2, 4, rng)
+	RandomRegularish(5, 100, rng)
+}
+
+func TestConnectify(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := New(10)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	g.AddEdge(4, 5)
+	added := Connectify(g, rng)
+	if !g.Connected() {
+		t.Fatal("not connected after Connectify")
+	}
+	if len(added) == 0 {
+		t.Fatal("no edges reported added")
+	}
+	// Already connected: no-op.
+	before := g.M()
+	if got := Connectify(g, rng); got != nil {
+		t.Fatalf("Connectify on connected graph added %v", got)
+	}
+	if g.M() != before {
+		t.Fatal("edge count changed")
+	}
+}
+
+func TestNamed(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, name := range []string{"path", "cycle", "star", "complete", "grid", "tree", "random", "regular"} {
+		g, err := Named(name, 12, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !g.Connected() {
+			t.Fatalf("%s: not connected", name)
+		}
+		if g.N() < 12 {
+			t.Fatalf("%s: n = %d", name, g.N())
+		}
+	}
+	if _, err := Named("nope", 5, rng); err == nil {
+		t.Fatal("unknown generator: no error")
+	}
+}

@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dynspread/internal/bitset"
+	"dynspread/internal/graph"
+	"dynspread/internal/token"
+)
+
+// BroadcastConfig configures one local-broadcast execution. The round
+// structure follows Section 2: every node first commits the token it will
+// locally broadcast (or ⊥); the strongly adaptive adversary then wires the
+// round's connected graph with full knowledge of those choices; finally every
+// broadcast is delivered to the chosen neighbors. Each local broadcast counts
+// as one message (Definition 1.1).
+type BroadcastConfig struct {
+	Assign    *token.Assignment
+	Factory   BroadcastFactory
+	Adversary BroadcastAdversary
+	MaxRounds int
+	Seed      int64
+	// OnRound, if non-nil, observes each round: the graph, the committed
+	// choices, and the number of token learnings that happened this round.
+	OnRound func(r int, g *graph.Graph, choices []token.ID, learned int64)
+}
+
+// RunBroadcast executes a local-broadcast protocol against a (possibly
+// strongly adaptive) adversary until all nodes know all tokens or MaxRounds
+// elapses.
+func RunBroadcast(cfg BroadcastConfig) (*Result, error) {
+	if cfg.Assign == nil {
+		return nil, fmt.Errorf("sim: nil assignment")
+	}
+	if cfg.Factory == nil {
+		return nil, fmt.Errorf("sim: nil factory")
+	}
+	if cfg.Adversary == nil {
+		return nil, fmt.Errorf("sim: nil adversary")
+	}
+	n, k := cfg.Assign.N(), cfg.Assign.K()
+	if n < 2 {
+		return nil, fmt.Errorf("sim: need n >= 2 nodes, got %d", n)
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds(n, k)
+	}
+
+	know := make([]*bitset.Set, n)
+	protos := make([]BroadcastProtocol, n)
+	rootRng := rand.New(rand.NewSource(cfg.Seed))
+	for v := 0; v < n; v++ {
+		know[v] = bitset.New(k)
+		initial := append([]token.ID(nil), cfg.Assign.TokensOf(v)...)
+		for _, t := range initial {
+			know[v].Add(t)
+		}
+		protos[v] = cfg.Factory(NodeEnv{
+			ID:         v,
+			N:          n,
+			K:          k,
+			NumSources: cfg.Assign.NumSources(),
+			Initial:    initial,
+			InfoOf:     cfg.Assign.Info,
+			Rng:        rand.New(rand.NewSource(rootRng.Int63())),
+		})
+		if protos[v] == nil {
+			return nil, fmt.Errorf("sim: factory returned nil protocol for node %d", v)
+		}
+	}
+
+	var metrics Metrics
+	prev := graph.New(n)
+	view := &BroadcastView{View: View{N: n, K: k, know: know}}
+
+	complete := func() bool {
+		for v := 0; v < n; v++ {
+			if !know[v].Full() {
+				return false
+			}
+		}
+		return true
+	}
+	if complete() {
+		return &Result{Completed: true, Rounds: 0, Metrics: metrics}, nil
+	}
+
+	choices := make([]token.ID, n)
+	heard := make([][]BroadcastHear, n)
+	for r := 1; r <= maxRounds; r++ {
+		// 1. Nodes commit their broadcasts (token-forwarding checked).
+		for v := 0; v < n; v++ {
+			c := protos[v].Choose(r)
+			if c != token.None {
+				if c < 0 || c >= k {
+					return nil, fmt.Errorf("sim: round %d: node %d broadcast invalid token %d", r, v, c)
+				}
+				if !know[v].Contains(c) {
+					return nil, fmt.Errorf("sim: round %d: node %d broadcast token %d it does not hold", r, v, c)
+				}
+				metrics.Broadcasts++
+				metrics.Messages++
+			}
+			choices[v] = c
+		}
+
+		// 2. The adversary wires the round with full knowledge of choices.
+		view.Round = r
+		view.Prev = prev
+		view.Choices = choices
+		g := cfg.Adversary.NextGraph(view)
+		if g == nil || g.N() != n {
+			return nil, fmt.Errorf("sim: adversary %q returned invalid graph in round %d", cfg.Adversary.Name(), r)
+		}
+		if !g.Connected() {
+			return nil, fmt.Errorf("sim: adversary %q returned disconnected graph in round %d", cfg.Adversary.Name(), r)
+		}
+		diff := graph.Compute(prev, g)
+		metrics.TC += int64(len(diff.Inserted))
+		metrics.Removals += int64(len(diff.Removed))
+
+		// 3. Deliver every broadcast to the round's neighbors.
+		for v := range heard {
+			heard[v] = heard[v][:0]
+		}
+		var learned int64
+		for v := 0; v < n; v++ {
+			if choices[v] == token.None {
+				continue
+			}
+			for _, u := range g.Neighbors(v) {
+				if !know[u].Contains(choices[v]) {
+					know[u].Add(choices[v])
+					metrics.Learnings++
+					learned++
+				}
+				heard[u] = append(heard[u], BroadcastHear{From: v, Token: choices[v]})
+			}
+		}
+		for v := 0; v < n; v++ {
+			protos[v].Deliver(r, heard[v])
+		}
+		metrics.Rounds = r
+		if cfg.OnRound != nil {
+			cfg.OnRound(r, g, choices, learned)
+		}
+		prev = g
+		if complete() {
+			return &Result{Completed: true, Rounds: r, Metrics: metrics}, nil
+		}
+	}
+	return &Result{Completed: false, Rounds: maxRounds, Metrics: metrics}, nil
+}

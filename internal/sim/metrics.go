@@ -1,0 +1,55 @@
+package sim
+
+// Metrics aggregates the communication-cost measures of one execution.
+//
+// Messages is the paper's message complexity (Definition 1.1): in unicast
+// mode every point-to-point message counts one; in local-broadcast mode every
+// local broadcast counts one (tracked as Broadcasts and mirrored into
+// Messages). TC is the number of topological changes (edge insertions,
+// Definition 1.3's TC(E)); Removals counts edge deletions (always ≤ TC since
+// executions start from the empty graph G_0).
+type Metrics struct {
+	Rounds     int   `json:"rounds"`
+	Messages   int64 `json:"messages"`
+	Broadcasts int64 `json:"broadcasts"`
+
+	// Unicast payload tallies. A single message may contribute to several
+	// (e.g. a completeness announcement piggybacked with a token), so these
+	// can sum to more than Messages.
+	TokenPayloads        int64 `json:"token_payloads"`
+	RequestPayloads      int64 `json:"request_payloads"`
+	CompletenessPayloads int64 `json:"completeness_payloads"`
+	WalkPayloads         int64 `json:"walk_payloads"`
+	ControlPayloads      int64 `json:"control_payloads"`
+
+	Learnings int64 `json:"learnings"` // token-learning events (Definition 1.4)
+	TC        int64 `json:"tc"`        // edge insertions Σ|E+_r|
+	Removals  int64 `json:"removals"`  // edge deletions Σ|E-_r|
+}
+
+// Competitive returns the α-adversary-competitive message complexity
+// residual M = Messages − α·TC(E) (Definition 1.3): the part of the cost not
+// covered by the adversary's budget. An algorithm has α-competitive message
+// complexity M iff this value is ≤ M on every execution.
+func (m Metrics) Competitive(alpha float64) float64 {
+	return float64(m.Messages) - alpha*float64(m.TC)
+}
+
+// AmortizedPerToken returns Messages/k, the paper's amortized message
+// complexity of spreading one token. k ≤ 0 yields 0.
+func (m Metrics) AmortizedPerToken(k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	return float64(m.Messages) / float64(k)
+}
+
+// Result reports one engine execution.
+type Result struct {
+	// Completed is true iff every node learned every token within MaxRounds.
+	Completed bool `json:"completed"`
+	// Rounds is the number of rounds executed (= round of completion when
+	// Completed).
+	Rounds  int     `json:"rounds"`
+	Metrics Metrics `json:"metrics"`
+}

@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Trial produces one independent execution result. Implementations must
+// construct their own engine inputs (fresh adversary and factory instances —
+// adversaries are stateful and must never be shared across trials).
+type Trial func() (*Result, error)
+
+// RunParallel executes independent trials on up to parallelism workers and
+// returns their results in input order. The first error wins (remaining
+// trials still drain); parallelism < 1 selects 1.
+//
+// The engines themselves are single-threaded; this helper only
+// parallelizes across executions, which is how the experiment sweeps use
+// multiple cores.
+func RunParallel(trials []Trial, parallelism int) ([]*Result, error) {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	if parallelism > len(trials) {
+		parallelism = len(trials)
+	}
+	results := make([]*Result, len(trials))
+	errs := make([]error, len(trials))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				if trials[i] == nil {
+					errs[i] = fmt.Errorf("sim: nil trial %d", i)
+					continue
+				}
+				results[i], errs[i] = trials[i]()
+			}
+		}()
+	}
+	for i := range trials {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sim: trial %d: %w", i, err)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"dynspread/internal/graph"
+	"dynspread/internal/token"
+)
+
+func trialOf(t *testing.T, seed int64) Trial {
+	t.Helper()
+	return func() (*Result, error) {
+		assign, err := token.SingleSource(6, 3, 0)
+		if err != nil {
+			return nil, err
+		}
+		return RunUnicast(UnicastConfig{
+			Assign:    assign,
+			Factory:   newPushProto,
+			Adversary: staticAdv{graph.Cycle(6)},
+			Seed:      seed,
+		})
+	}
+}
+
+func TestRunParallelOrderAndResults(t *testing.T) {
+	trials := make([]Trial, 8)
+	for i := range trials {
+		trials[i] = trialOf(t, int64(i))
+	}
+	results, err := RunParallel(trials, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 8 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r == nil || !r.Completed {
+			t.Fatalf("trial %d: %+v", i, r)
+		}
+	}
+	// Determinism: same seeds via sequential run must agree.
+	seq, err := RunParallel(trials, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i].Metrics != results[i].Metrics {
+			t.Fatalf("trial %d differs between parallel and sequential", i)
+		}
+	}
+}
+
+func TestRunParallelErrorPropagates(t *testing.T) {
+	trials := []Trial{
+		trialOf(t, 1),
+		func() (*Result, error) { return nil, fmt.Errorf("boom") },
+		trialOf(t, 2),
+	}
+	_, err := RunParallel(trials, 3)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "trial 1") {
+		t.Fatalf("error does not identify the trial: %v", err)
+	}
+}
+
+func TestRunParallelNilTrial(t *testing.T) {
+	if _, err := RunParallel([]Trial{nil}, 2); err == nil {
+		t.Fatal("nil trial accepted")
+	}
+}
+
+func TestRunParallelClampsParallelism(t *testing.T) {
+	var peak, cur int64
+	trials := make([]Trial, 6)
+	for i := range trials {
+		trials[i] = func() (*Result, error) {
+			c := atomic.AddInt64(&cur, 1)
+			for {
+				p := atomic.LoadInt64(&peak)
+				if c <= p || atomic.CompareAndSwapInt64(&peak, p, c) {
+					break
+				}
+			}
+			defer atomic.AddInt64(&cur, -1)
+			return &Result{Completed: true}, nil
+		}
+	}
+	if _, err := RunParallel(trials, 0); err != nil { // clamped to 1
+		t.Fatal(err)
+	}
+	if atomic.LoadInt64(&peak) != 1 {
+		t.Fatalf("peak concurrency %d with parallelism 1", peak)
+	}
+	if _, err := RunParallel(nil, 4); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dynspread/internal/bitset"
+	"dynspread/internal/graph"
+	"dynspread/internal/token"
+)
+
+// UnicastConfig configures one unicast execution.
+type UnicastConfig struct {
+	Assign    *token.Assignment
+	Factory   Factory
+	Adversary Adversary
+	// MaxRounds caps the execution; 0 selects DefaultMaxRounds.
+	MaxRounds int
+	// Seed derives all node randomness (each node gets an independent
+	// stream).
+	Seed int64
+	// CheckStability, when > 0, verifies that the adversary's sequence is
+	// σ-edge-stable and fails the run otherwise. This guards experiments
+	// whose theorems assume 3-edge stability.
+	CheckStability int
+	// OnRound, if non-nil, observes every round after delivery: the round
+	// number, that round's graph, the messages sent, and the number of
+	// token-learning events the round produced. For tracing.
+	OnRound func(r int, g *graph.Graph, sent []Message, learned int64)
+}
+
+// DefaultMaxRounds returns a generous round cap for an (n, k) instance:
+// well above the paper's O(nk) bounds, so hitting it signals a liveness bug
+// or an unsatisfied stability assumption rather than normal slowness.
+func DefaultMaxRounds(n, k int) int {
+	r := 40*n*k + 40*n + 1000
+	if r < 1000 {
+		r = 1000
+	}
+	return r
+}
+
+// RunUnicast executes the configured protocol against the adversary until
+// every node holds every token, MaxRounds elapses, or a model violation
+// occurs (which returns an error).
+func RunUnicast(cfg UnicastConfig) (*Result, error) {
+	if cfg.Assign == nil {
+		return nil, fmt.Errorf("sim: nil assignment")
+	}
+	if cfg.Factory == nil {
+		return nil, fmt.Errorf("sim: nil factory")
+	}
+	if cfg.Adversary == nil {
+		return nil, fmt.Errorf("sim: nil adversary")
+	}
+	n, k := cfg.Assign.N(), cfg.Assign.K()
+	if n < 2 {
+		return nil, fmt.Errorf("sim: need n >= 2 nodes, got %d", n)
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds(n, k)
+	}
+
+	know := make([]*bitset.Set, n)
+	for v := 0; v < n; v++ {
+		know[v] = bitset.New(k)
+	}
+	protos := make([]Protocol, n)
+	rootRng := rand.New(rand.NewSource(cfg.Seed))
+	for v := 0; v < n; v++ {
+		initial := append([]token.ID(nil), cfg.Assign.TokensOf(v)...)
+		for _, t := range initial {
+			know[v].Add(t)
+		}
+		protos[v] = cfg.Factory(NodeEnv{
+			ID:         v,
+			N:          n,
+			K:          k,
+			NumSources: cfg.Assign.NumSources(),
+			Initial:    initial,
+			InfoOf:     cfg.Assign.Info,
+			Rng:        rand.New(rand.NewSource(rootRng.Int63())),
+		})
+		if protos[v] == nil {
+			return nil, fmt.Errorf("sim: factory returned nil protocol for node %d", v)
+		}
+	}
+
+	var (
+		metrics   Metrics
+		prev      = graph.New(n)
+		lastSent  []Message
+		stability *graph.StabilityTracker
+	)
+	if cfg.CheckStability > 0 {
+		stability = graph.NewStabilityTracker(cfg.CheckStability)
+	}
+	view := &View{N: n, K: k, know: know}
+
+	complete := func() bool {
+		for v := 0; v < n; v++ {
+			if !know[v].Full() {
+				return false
+			}
+		}
+		return true
+	}
+	if complete() { // degenerate: k == 0 or everyone starts complete
+		return &Result{Completed: true, Rounds: 0, Metrics: metrics}, nil
+	}
+
+	inbox := make([][]Message, n)
+	for r := 1; r <= maxRounds; r++ {
+		view.Round = r
+		view.Prev = prev
+		view.LastSent = lastSent
+		g := cfg.Adversary.NextGraph(view)
+		if g == nil || g.N() != n {
+			return nil, fmt.Errorf("sim: adversary %q returned invalid graph in round %d", cfg.Adversary.Name(), r)
+		}
+		if !g.Connected() {
+			return nil, fmt.Errorf("sim: adversary %q returned disconnected graph in round %d", cfg.Adversary.Name(), r)
+		}
+		if stability != nil {
+			stability.Observe(g)
+			if !stability.OK() {
+				v := stability.Violations()[0]
+				return nil, fmt.Errorf("sim: adversary %q violated %d-edge stability: edge %v inserted round %d, gone round %d",
+					cfg.Adversary.Name(), cfg.CheckStability, v.E, v.InsertedAt, v.RemovedAt)
+			}
+		}
+		diff := graph.Compute(prev, g)
+		metrics.TC += int64(len(diff.Inserted))
+		metrics.Removals += int64(len(diff.Removed))
+
+		for v := 0; v < n; v++ {
+			protos[v].BeginRound(r, g.Neighbors(v))
+		}
+
+		sent := make([]Message, 0, 2*g.M())
+		type pair struct{ from, to graph.NodeID }
+		used := make(map[pair]bool, 2*g.M())
+		for v := 0; v < n; v++ {
+			for _, raw := range protos[v].Send(r) {
+				m := raw
+				if err := m.validate(v, n); err != nil {
+					return nil, err
+				}
+				if !g.HasEdge(m.From, m.To) {
+					return nil, fmt.Errorf("sim: round %d: node %d sent to non-neighbor %d", r, v, m.To)
+				}
+				p := pair{m.From, m.To}
+				if used[p] {
+					return nil, fmt.Errorf("sim: round %d: node %d sent two messages to %d (bandwidth violation)", r, v, m.To)
+				}
+				used[p] = true
+				if t := m.carriedToken(); t != token.None {
+					if t < 0 || t >= k {
+						return nil, fmt.Errorf("sim: round %d: node %d sent invalid token %d", r, v, t)
+					}
+					if !know[v].Contains(t) {
+						return nil, fmt.Errorf("sim: round %d: node %d sent token %d it does not hold (token-forwarding violation)", r, v, t)
+					}
+				}
+				metrics.Messages++
+				if m.Token != nil {
+					metrics.TokenPayloads++
+				}
+				if m.Walk != nil {
+					metrics.WalkPayloads++
+				}
+				if m.Request != nil {
+					metrics.RequestPayloads++
+				}
+				if m.Completeness != nil {
+					metrics.CompletenessPayloads++
+				}
+				if m.Control != nil {
+					metrics.ControlPayloads++
+				}
+				sent = append(sent, m)
+			}
+		}
+
+		// Deliver: sort by (To, From) for determinism, update engine
+		// knowledge, then hand each node its inbox.
+		sort.Slice(sent, func(i, j int) bool {
+			if sent[i].To != sent[j].To {
+				return sent[i].To < sent[j].To
+			}
+			return sent[i].From < sent[j].From
+		})
+		for v := range inbox {
+			inbox[v] = inbox[v][:0]
+		}
+		var learned int64
+		for i := range sent {
+			m := sent[i]
+			if t := m.carriedToken(); t != token.None && !know[m.To].Contains(t) {
+				know[m.To].Add(t)
+				metrics.Learnings++
+				learned++
+			}
+			inbox[m.To] = append(inbox[m.To], m)
+		}
+		for v := 0; v < n; v++ {
+			protos[v].Deliver(r, inbox[v])
+		}
+		metrics.Rounds = r
+		if cfg.OnRound != nil {
+			cfg.OnRound(r, g, sent, learned)
+		}
+		prev = g
+		lastSent = sent
+		if complete() {
+			return &Result{Completed: true, Rounds: r, Metrics: metrics}, nil
+		}
+	}
+	return &Result{Completed: false, Rounds: maxRounds, Metrics: metrics}, nil
+}

@@ -1,0 +1,119 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		Title:  "Demo",
+		Notes:  "a note",
+		Header: []string{"n", "messages"},
+	}
+	t.AddRow("10", "100")
+	t.AddRowf(20, 400.0)
+	return t
+}
+
+func TestAddRowPadsAndTruncates(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b"}}
+	tb.AddRow("1")
+	tb.AddRow("1", "2", "3")
+	if len(tb.Rows[0]) != 2 || tb.Rows[0][1] != "" {
+		t.Fatalf("row not padded: %v", tb.Rows[0])
+	}
+	if len(tb.Rows[1]) != 2 {
+		t.Fatalf("row not truncated: %v", tb.Rows[1])
+	}
+}
+
+func TestAddRowfFormats(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b", "c"}}
+	tb.AddRowf(3, 3.14159265, float32(2.5))
+	row := tb.Rows[0]
+	if row[0] != "3" {
+		t.Fatalf("int cell = %q", row[0])
+	}
+	if row[1] != "3.142" {
+		t.Fatalf("float cell = %q", row[1])
+	}
+	if row[2] != "2.5" {
+		t.Fatalf("float32 cell = %q", row[2])
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	md := sample().Markdown()
+	for _, want := range []string{
+		"### Demo",
+		"| n | messages |",
+		"| --- | --- |",
+		"| 10 | 100 |",
+		"| 20 | 400 |",
+		"a note",
+	} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestMarkdownNoTitleNoNotes(t *testing.T) {
+	tb := &Table{Header: []string{"x"}}
+	tb.AddRow("1")
+	md := tb.Markdown()
+	if strings.Contains(md, "###") {
+		t.Fatal("unexpected title")
+	}
+	if !strings.HasPrefix(md, "| x |") {
+		t.Fatalf("markdown = %q", md)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b"}}
+	tb.AddRow("1", "plain")
+	tb.AddRow("2", `with "quote" and, comma`)
+	csv := tb.CSV()
+	lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	if lines[0] != "a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "1,plain" {
+		t.Fatalf("row1 = %q", lines[1])
+	}
+	want := `2,"with ""quote"" and, comma"`
+	if lines[2] != want {
+		t.Fatalf("row2 = %q, want %q", lines[2], want)
+	}
+}
+
+func TestASCIIAligned(t *testing.T) {
+	out := sample().ASCII()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Demo" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	// Header and rows share column positions: "messages" column starts after
+	// the widest first-column cell ("n" vs "10"/"20" -> width 2).
+	var header string
+	for _, l := range lines {
+		if strings.Contains(l, "messages") {
+			header = l
+			break
+		}
+	}
+	if header == "" {
+		t.Fatalf("no header in output:\n%s", out)
+	}
+	col := strings.Index(header, "messages")
+	for _, l := range lines {
+		if strings.HasPrefix(l, "10") && !strings.HasPrefix(l[col:], "100") {
+			t.Fatalf("misaligned row %q (col %d):\n%s", l, col, out)
+		}
+	}
+	if !strings.Contains(out, "a note") {
+		t.Fatal("notes missing")
+	}
+}

@@ -1,0 +1,87 @@
+// Package trace collects per-round execution series (messages, learnings,
+// potential, component counts) from the engines' OnRound hooks and renders
+// them as CSV for offline plotting.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Recorder accumulates named per-round series. The zero value is unusable;
+// construct with New.
+type Recorder struct {
+	series map[string][]float64
+	rounds int
+}
+
+// New returns an empty recorder.
+func New() *Recorder {
+	return &Recorder{series: make(map[string][]float64)}
+}
+
+// Record appends value to the named series at the given 1-based round,
+// padding skipped rounds with zeros so all series stay aligned.
+func (rec *Recorder) Record(round int, name string, value float64) {
+	if round < 1 {
+		return
+	}
+	if round > rec.rounds {
+		rec.rounds = round
+	}
+	s := rec.series[name]
+	for len(s) < round-1 {
+		s = append(s, 0)
+	}
+	if len(s) == round-1 {
+		s = append(s, value)
+	} else {
+		s[round-1] = value
+	}
+	rec.series[name] = s
+}
+
+// Rounds returns the highest recorded round.
+func (rec *Recorder) Rounds() int { return rec.rounds }
+
+// Series returns a copy of the named series padded to Rounds() entries.
+func (rec *Recorder) Series(name string) []float64 {
+	s := rec.series[name]
+	out := make([]float64, rec.rounds)
+	copy(out, s)
+	return out
+}
+
+// Names returns the recorded series names in sorted order.
+func (rec *Recorder) Names() []string {
+	names := make([]string, 0, len(rec.series))
+	for n := range rec.series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CSV renders all series as comma-separated values with a header row.
+func (rec *Recorder) CSV() string {
+	names := rec.Names()
+	var sb strings.Builder
+	sb.WriteString("round")
+	for _, n := range names {
+		sb.WriteString("," + n)
+	}
+	sb.WriteByte('\n')
+	cols := make([][]float64, len(names))
+	for i, n := range names {
+		cols[i] = rec.Series(n)
+	}
+	for r := 0; r < rec.rounds; r++ {
+		fmt.Fprintf(&sb, "%d", r+1)
+		for i := range cols {
+			fmt.Fprintf(&sb, ",%g", cols[i][r])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

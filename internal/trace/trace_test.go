@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecordAndSeries(t *testing.T) {
+	rec := New()
+	rec.Record(1, "msgs", 3)
+	rec.Record(2, "msgs", 5)
+	rec.Record(2, "learn", 1)
+	if rec.Rounds() != 2 {
+		t.Fatalf("Rounds = %d", rec.Rounds())
+	}
+	msgs := rec.Series("msgs")
+	if len(msgs) != 2 || msgs[0] != 3 || msgs[1] != 5 {
+		t.Fatalf("msgs = %v", msgs)
+	}
+	learn := rec.Series("learn")
+	if len(learn) != 2 || learn[0] != 0 || learn[1] != 1 {
+		t.Fatalf("learn = %v (skipped rounds must pad with zero)", learn)
+	}
+}
+
+func TestRecordOverwrite(t *testing.T) {
+	rec := New()
+	rec.Record(1, "x", 1)
+	rec.Record(1, "x", 9)
+	if got := rec.Series("x"); got[0] != 9 {
+		t.Fatalf("x = %v", got)
+	}
+}
+
+func TestRecordInvalidRoundIgnored(t *testing.T) {
+	rec := New()
+	rec.Record(0, "x", 1)
+	rec.Record(-3, "x", 1)
+	if rec.Rounds() != 0 {
+		t.Fatal("invalid rounds recorded")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	rec := New()
+	rec.Record(1, "z", 1)
+	rec.Record(1, "a", 1)
+	names := rec.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "z" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	rec := New()
+	rec.Record(1, "b", 2)
+	rec.Record(2, "a", 4)
+	csv := rec.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if lines[0] != "round,a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "1,0,2" {
+		t.Fatalf("row1 = %q", lines[1])
+	}
+	if lines[2] != "2,4,0" {
+		t.Fatalf("row2 = %q", lines[2])
+	}
+}
+
+func TestSeriesUnknownName(t *testing.T) {
+	rec := New()
+	rec.Record(3, "x", 1)
+	got := rec.Series("nope")
+	if len(got) != 3 {
+		t.Fatalf("unknown series should pad to Rounds: %v", got)
+	}
+}

@@ -1,0 +1,87 @@
+// Package unionfind implements a disjoint-set union (DSU) structure with path
+// compression and union by size. The simulator uses it to count connected
+// components of round graphs and of the "free-edge" graphs in the Section 2
+// lower-bound adversary.
+package unionfind
+
+// DSU is a disjoint-set union over elements 0..n-1.
+type DSU struct {
+	parent []int
+	size   []int
+	comps  int
+}
+
+// New returns a DSU with n singleton components.
+func New(n int) *DSU {
+	if n < 0 {
+		n = 0
+	}
+	d := &DSU{
+		parent: make([]int, n),
+		size:   make([]int, n),
+		comps:  n,
+	}
+	for i := range d.parent {
+		d.parent[i] = i
+		d.size[i] = 1
+	}
+	return d
+}
+
+// Len returns the number of elements.
+func (d *DSU) Len() int { return len(d.parent) }
+
+// Find returns the canonical representative of x's component.
+func (d *DSU) Find(x int) int {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]] // path halving
+		x = d.parent[x]
+	}
+	return x
+}
+
+// Union merges the components of a and b and reports whether a merge
+// happened (false if they were already connected).
+func (d *DSU) Union(a, b int) bool {
+	ra, rb := d.Find(a), d.Find(b)
+	if ra == rb {
+		return false
+	}
+	if d.size[ra] < d.size[rb] {
+		ra, rb = rb, ra
+	}
+	d.parent[rb] = ra
+	d.size[ra] += d.size[rb]
+	d.comps--
+	return true
+}
+
+// Connected reports whether a and b are in the same component.
+func (d *DSU) Connected(a, b int) bool { return d.Find(a) == d.Find(b) }
+
+// Components returns the current number of components.
+func (d *DSU) Components() int { return d.comps }
+
+// ComponentSize returns the size of x's component.
+func (d *DSU) ComponentSize(x int) int { return d.size[d.Find(x)] }
+
+// Representatives returns one member (the canonical root) per component, in
+// increasing order of root index.
+func (d *DSU) Representatives() []int {
+	out := make([]int, 0, d.comps)
+	for i := range d.parent {
+		if d.Find(i) == i {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Reset returns the DSU to n singleton components without reallocating.
+func (d *DSU) Reset() {
+	for i := range d.parent {
+		d.parent[i] = i
+		d.size[i] = 1
+	}
+	d.comps = len(d.parent)
+}

@@ -1,0 +1,95 @@
+package walk
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dynspread/internal/graph"
+)
+
+// ParallelResult reports a congested multi-token walk experiment.
+type ParallelResult struct {
+	// HitRounds[i] is the round token i reached a target (0 if it started
+	// on one, -1 if it never did within the horizon).
+	HitRounds []int
+	// AllHit is true iff every token reached a target.
+	AllHit bool
+	// MaxRound is the largest hit round (the phase-1 length this run needed).
+	MaxRound int
+	// PassiveSteps counts token-rounds lost to congestion (a token wanted to
+	// cross an edge already used this round) — the delay term of the paper's
+	// §3.2.2 running-time analysis.
+	PassiveSteps int64
+	// ActiveSteps counts actual edge traversals (the message cost kL).
+	ActiveSteps int64
+}
+
+// ParallelHitTimes walks all tokens simultaneously under Algorithm 2's
+// phase-1 movement rule: a token at node u moves with probability
+// deg(u)/n to a uniformly random incident edge, and at most one token may
+// cross each edge per round per direction (excess tokens stay passive).
+// Tokens stop on target (center) nodes. starts[i] is token i's initial
+// node.
+func ParallelHitTimes(gen Generator, n int, starts []graph.NodeID, targets []bool, maxRounds int, rng *rand.Rand) (*ParallelResult, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("walk: need n >= 1, got %d", n)
+	}
+	if len(targets) != n {
+		return nil, fmt.Errorf("walk: targets length %d != n", len(targets))
+	}
+	pos := make([]graph.NodeID, len(starts))
+	res := &ParallelResult{HitRounds: make([]int, len(starts))}
+	active := 0
+	for i, s := range starts {
+		if s < 0 || s >= n {
+			return nil, fmt.Errorf("walk: start %d of token %d out of range", s, i)
+		}
+		pos[i] = s
+		if targets[s] {
+			res.HitRounds[i] = 0
+		} else {
+			res.HitRounds[i] = -1
+			active++
+		}
+	}
+	type dirEdge struct{ from, to graph.NodeID }
+	for r := 1; r <= maxRounds && active > 0; r++ {
+		g := gen(r)
+		if g == nil || g.N() != n {
+			return nil, fmt.Errorf("walk: generator returned invalid graph in round %d", r)
+		}
+		used := make(map[dirEdge]bool)
+		for i := range pos {
+			if res.HitRounds[i] >= 0 {
+				continue
+			}
+			u := pos[i]
+			nbrs := g.Neighbors(u)
+			deg := len(nbrs)
+			if deg == 0 {
+				continue
+			}
+			if rng.Float64() >= float64(deg)/float64(n) {
+				continue // virtual self-loop
+			}
+			v := nbrs[rng.Intn(deg)]
+			e := dirEdge{u, v}
+			if used[e] {
+				res.PassiveSteps++ // congestion: stay put this round
+				continue
+			}
+			used[e] = true
+			res.ActiveSteps++
+			pos[i] = v
+			if targets[v] {
+				res.HitRounds[i] = r
+				active--
+				if r > res.MaxRound {
+					res.MaxRound = r
+				}
+			}
+		}
+	}
+	res.AllHit = active == 0
+	return res, nil
+}

@@ -1,0 +1,98 @@
+package walk
+
+import (
+	"math/rand"
+	"testing"
+
+	"dynspread/internal/adversary"
+	"dynspread/internal/graph"
+)
+
+func TestParallelHitTimesAllPark(t *testing.T) {
+	n := 32
+	seq, err := adversary.NewRegular(n, 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := make([]bool, n)
+	targets[0], targets[n-1] = true, true
+	starts := make([]graph.NodeID, 2*n)
+	for i := range starts {
+		starts[i] = i % n
+	}
+	res, err := ParallelHitTimes(seq.Graph, n, starts, targets, 200000, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllHit {
+		t.Fatal("some tokens never parked")
+	}
+	// Tokens starting on targets hit at round 0.
+	if res.HitRounds[0] != 0 || res.HitRounds[n-1] != 0 {
+		t.Fatal("target starts should hit at round 0")
+	}
+	if res.ActiveSteps == 0 {
+		t.Fatal("no active steps recorded")
+	}
+	if res.MaxRound <= 0 {
+		t.Fatal("max round not recorded")
+	}
+}
+
+func TestParallelHitTimesCongestion(t *testing.T) {
+	// Many tokens on a path: the single edge out of the crowd saturates, so
+	// passive steps must occur.
+	n := 4
+	g := graph.Path(n)
+	gen := func(int) *graph.Graph { return g }
+	targets := []bool{false, false, false, true}
+	starts := make([]graph.NodeID, 30) // all tokens crammed on node 0
+	res, err := ParallelHitTimes(gen, n, starts, targets, 100000, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllHit {
+		t.Fatal("tokens never drained")
+	}
+	if res.PassiveSteps == 0 {
+		t.Fatal("expected congestion-induced passive steps")
+	}
+}
+
+func TestParallelHitTimesErrors(t *testing.T) {
+	g := graph.Path(3)
+	gen := func(int) *graph.Graph { return g }
+	rng := rand.New(rand.NewSource(1))
+	if _, err := ParallelHitTimes(gen, 0, nil, nil, 5, rng); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := ParallelHitTimes(gen, 3, []graph.NodeID{5}, make([]bool, 3), 5, rng); err == nil {
+		t.Fatal("bad start accepted")
+	}
+	if _, err := ParallelHitTimes(gen, 3, nil, make([]bool, 2), 5, rng); err == nil {
+		t.Fatal("bad targets accepted")
+	}
+	bad := func(int) *graph.Graph { return nil }
+	if _, err := ParallelHitTimes(bad, 3, []graph.NodeID{0}, make([]bool, 3), 5, rng); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+func TestParallelHitTimesHorizon(t *testing.T) {
+	// No targets: nothing ever hits; the horizon stops the loop.
+	n := 6
+	g := graph.Cycle(n)
+	gen := func(int) *graph.Graph { return g }
+	res, err := ParallelHitTimes(gen, n, []graph.NodeID{0, 1}, make([]bool, n), 50, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AllHit {
+		t.Fatal("nothing should hit without targets")
+	}
+	for _, h := range res.HitRounds {
+		if h != -1 {
+			t.Fatalf("hit round = %d, want -1", h)
+		}
+	}
+}

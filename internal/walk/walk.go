@@ -1,0 +1,134 @@
+// Package walk provides the random-walk analysis substrate behind Algorithm
+// 2's phase 1: single-token random walks on (oblivious) dynamic graphs, with
+// visit counting to reproduce the Lemma 3.7 bound
+//
+//	Pr( N^t_x(y) ≥ 2^{c+3} · d · √(t+1) · log n ) ≤ 1/n^c
+//
+// for d-regular dynamic graphs controlled by an oblivious adversary, and
+// hitting-time measurement against a target (center) set.
+package walk
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"dynspread/internal/graph"
+)
+
+// Generator produces the round-r graph of an oblivious dynamic sequence.
+type Generator func(r int) *graph.Graph
+
+// VisitResult reports one walk's visit statistics.
+type VisitResult struct {
+	// Visits[y] is N^t_x(y): the number of times the walk was at y at the
+	// end of a round (the start position is not counted).
+	Visits []int
+	// MaxVisits is max_y Visits[y].
+	MaxVisits int
+	// Distinct is the number of distinct nodes with Visits > 0.
+	Distinct int
+	// Steps is the number of rounds walked.
+	Steps int
+	// End is the final position.
+	End graph.NodeID
+}
+
+// Visits walks one token for steps rounds starting at start, moving to a
+// uniformly random current neighbor each round (staying put on isolated
+// nodes, which cannot occur on connected graphs with n >= 2).
+func Visits(gen Generator, n int, start graph.NodeID, steps int, rng *rand.Rand) (*VisitResult, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("walk: need n >= 1, got %d", n)
+	}
+	if start < 0 || start >= n {
+		return nil, fmt.Errorf("walk: start %d out of range", start)
+	}
+	if steps < 0 {
+		return nil, fmt.Errorf("walk: negative steps %d", steps)
+	}
+	res := &VisitResult{Visits: make([]int, n), Steps: steps}
+	cur := start
+	for r := 1; r <= steps; r++ {
+		g := gen(r)
+		if g == nil || g.N() != n {
+			return nil, fmt.Errorf("walk: generator returned invalid graph in round %d", r)
+		}
+		nbrs := g.Neighbors(cur)
+		if len(nbrs) > 0 {
+			cur = nbrs[rng.Intn(len(nbrs))]
+		}
+		res.Visits[cur]++
+	}
+	res.End = cur
+	for _, v := range res.Visits {
+		if v > res.MaxVisits {
+			res.MaxVisits = v
+		}
+		if v > 0 {
+			res.Distinct++
+		}
+	}
+	return res, nil
+}
+
+// Lemma37Bound returns the Lemma 3.7 visit bound 2^{c+3}·d·√(t+1)·log2 n.
+func Lemma37Bound(c float64, d, t, n int) float64 {
+	lg := math.Log2(float64(n))
+	if lg < 1 {
+		lg = 1
+	}
+	return math.Pow(2, c+3) * float64(d) * math.Sqrt(float64(t+1)) * lg
+}
+
+// HitResult reports a hitting-time measurement.
+type HitResult struct {
+	Hit      bool
+	Steps    int // rounds until a target was reached (= maxSteps if !Hit)
+	Distinct int // distinct nodes visited on the way
+	Target   graph.NodeID
+}
+
+// HitTime walks from start until the walk lands on any target node, up to
+// maxSteps rounds. targets[v] marks target nodes (Algorithm 2's centers).
+func HitTime(gen Generator, n int, start graph.NodeID, targets []bool, maxSteps int, rng *rand.Rand) (*HitResult, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("walk: need n >= 1, got %d", n)
+	}
+	if start < 0 || start >= n {
+		return nil, fmt.Errorf("walk: start %d out of range", start)
+	}
+	if len(targets) != n {
+		return nil, fmt.Errorf("walk: targets length %d != n", len(targets))
+	}
+	visited := make([]bool, n)
+	visited[start] = true
+	res := &HitResult{Target: -1, Distinct: 1}
+	if targets[start] {
+		res.Hit = true
+		res.Target = start
+		return res, nil
+	}
+	cur := start
+	for r := 1; r <= maxSteps; r++ {
+		g := gen(r)
+		if g == nil || g.N() != n {
+			return nil, fmt.Errorf("walk: generator returned invalid graph in round %d", r)
+		}
+		nbrs := g.Neighbors(cur)
+		if len(nbrs) > 0 {
+			cur = nbrs[rng.Intn(len(nbrs))]
+		}
+		if !visited[cur] {
+			visited[cur] = true
+			res.Distinct++
+		}
+		res.Steps = r
+		if targets[cur] {
+			res.Hit = true
+			res.Target = cur
+			return res, nil
+		}
+	}
+	return res, nil
+}

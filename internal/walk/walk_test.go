@@ -1,0 +1,156 @@
+package walk
+
+import (
+	"math/rand"
+	"testing"
+
+	"dynspread/internal/adversary"
+	"dynspread/internal/graph"
+)
+
+func regularGen(t *testing.T, n, d int, seed int64) Generator {
+	t.Helper()
+	seq, err := adversary.NewRegular(n, d, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seq.Graph
+}
+
+func TestVisitsBasic(t *testing.T) {
+	g := graph.Cycle(8)
+	gen := func(int) *graph.Graph { return g }
+	res, err := Visits(gen, 8, 0, 100, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, v := range res.Visits {
+		total += v
+	}
+	if total != 100 {
+		t.Fatalf("visit total = %d, want 100 (one per step)", total)
+	}
+	if res.MaxVisits < 1 || res.Distinct < 2 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.End < 0 || res.End >= 8 {
+		t.Fatalf("End = %d", res.End)
+	}
+}
+
+func TestVisitsErrors(t *testing.T) {
+	g := graph.Path(4)
+	gen := func(int) *graph.Graph { return g }
+	if _, err := Visits(gen, 0, 0, 5, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := Visits(gen, 4, 9, 5, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("start out of range accepted")
+	}
+	if _, err := Visits(gen, 4, 0, -1, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("negative steps accepted")
+	}
+	bad := func(int) *graph.Graph { return graph.Path(3) }
+	if _, err := Visits(bad, 4, 0, 5, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("wrong-size generator accepted")
+	}
+}
+
+func TestVisitsZeroSteps(t *testing.T) {
+	g := graph.Path(3)
+	res, err := Visits(func(int) *graph.Graph { return g }, 3, 1, 0, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxVisits != 0 || res.Distinct != 0 || res.End != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestLemma37BoundOnRegularDynamicGraph(t *testing.T) {
+	// The bound should comfortably hold on random regular dynamic graphs.
+	n, d, steps := 64, 4, 2000
+	gen := regularGen(t, n, d, 5)
+	res, err := Visits(gen, n, 0, steps, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := Lemma37Bound(1, d, steps, n)
+	if float64(res.MaxVisits) >= bound {
+		t.Fatalf("max visits %d >= bound %g", res.MaxVisits, bound)
+	}
+	// The walk must spread: distinct nodes at least sqrt(steps)/d-ish.
+	if res.Distinct < 8 {
+		t.Fatalf("distinct = %d suspiciously small", res.Distinct)
+	}
+}
+
+func TestLemma37BoundFloorsLog(t *testing.T) {
+	if Lemma37Bound(1, 2, 3, 1) <= 0 {
+		t.Fatal("bound must stay positive for n=1")
+	}
+}
+
+func TestHitTimeImmediate(t *testing.T) {
+	g := graph.Path(4)
+	targets := []bool{true, false, false, false}
+	res, err := HitTime(func(int) *graph.Graph { return g }, 4, 0, targets, 10, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Hit || res.Steps != 0 || res.Target != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestHitTimeReachesCenter(t *testing.T) {
+	n := 32
+	gen := regularGen(t, n, 4, 9)
+	targets := make([]bool, n)
+	targets[n-1] = true
+	res, err := HitTime(gen, n, 0, targets, 100000, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Hit {
+		t.Fatal("walk never hit the target on a connected dynamic graph")
+	}
+	if res.Target != n-1 {
+		t.Fatalf("Target = %d", res.Target)
+	}
+	if res.Distinct < 2 {
+		t.Fatalf("Distinct = %d", res.Distinct)
+	}
+}
+
+func TestHitTimeMiss(t *testing.T) {
+	g := graph.Path(4)
+	targets := make([]bool, 4) // no targets
+	res, err := HitTime(func(int) *graph.Graph { return g }, 4, 0, targets, 20, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hit || res.Steps != 20 || res.Target != -1 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestHitTimeErrors(t *testing.T) {
+	g := graph.Path(4)
+	gen := func(int) *graph.Graph { return g }
+	rng := rand.New(rand.NewSource(1))
+	if _, err := HitTime(gen, 0, 0, nil, 5, rng); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := HitTime(gen, 4, -1, make([]bool, 4), 5, rng); err == nil {
+		t.Fatal("bad start accepted")
+	}
+	if _, err := HitTime(gen, 4, 0, make([]bool, 3), 5, rng); err == nil {
+		t.Fatal("bad targets length accepted")
+	}
+	bad := func(int) *graph.Graph { return nil }
+	if _, err := HitTime(bad, 4, 0, make([]bool, 4), 5, rng); err == nil {
+		t.Fatal("nil generator graph accepted")
+	}
+}

@@ -1,0 +1,9 @@
+package dynspread
+
+import "math/rand"
+
+// newRand returns a seeded PRNG; a helper so the facade never touches the
+// global rand source (reproducibility across runs and parallel tests).
+func newRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
