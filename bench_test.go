@@ -13,6 +13,7 @@ import (
 
 	"dynspread"
 	"dynspread/internal/experiments"
+	"dynspread/internal/sweep"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -125,4 +126,68 @@ func BenchmarkRunFloodingFreeEdge(b *testing.B) {
 
 func BenchmarkRunSpanningTreeStatic(b *testing.B) {
 	benchRun(b, dynspread.Config{N: 32, K: 64, Algorithm: dynspread.AlgSpanningTree, Adversary: dynspread.AdvStatic})
+}
+
+// --- sweep benchmarks: 64-trial grid, serial vs parallel vs no buffer reuse ---
+//
+// Compare with -benchmem:
+//
+//	go test -bench=BenchmarkSweep64 -benchmem
+//
+// Sweep64Parallel over Sweep64Serial shows the worker-pool speedup on
+// multi-core (GOMAXPROCS workers vs 1); Sweep64Serial over
+// Sweep64NoWorkspace shows the allocs/op cut from per-worker reuse of the
+// engine's bitset/message/inbox buffers across sequential trials.
+
+func sweepTrials64() []sweep.Trial {
+	seeds := make([]int64, 16)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	return sweep.Grid{
+		Ns:          []int{24},
+		Ks:          []int{24},
+		Algorithms:  []string{"single-source", "topkis"},
+		Adversaries: []string{"static", "churn"},
+		Seeds:       seeds,
+	}.Trials() // 2 algorithms × 2 adversaries × 16 seeds = 64 trials
+}
+
+func benchSweep(b *testing.B, parallelism int) {
+	b.Helper()
+	trials := sweepTrials64()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := sweep.Run(trials, sweep.Options{Parallelism: parallelism})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != len(trials) {
+			b.Fatalf("got %d results", len(results))
+		}
+		b.ReportMetric(float64(len(results)), "trials/op")
+	}
+}
+
+// BenchmarkSweep64Serial runs the grid on one worker (with buffer reuse).
+func BenchmarkSweep64Serial(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkSweep64Parallel runs the grid on GOMAXPROCS workers.
+func BenchmarkSweep64Parallel(b *testing.B) { benchSweep(b, 0) }
+
+// BenchmarkSweep64NoWorkspace runs the same 64 trials as cold per-trial
+// engine calls (no workspace reuse) — the pre-sweep baseline.
+func BenchmarkSweep64NoWorkspace(b *testing.B) {
+	trials := sweepTrials64()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tr := range trials {
+			if _, _, err := sweep.RunTrial(tr, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(trials)), "trials/op")
+	}
 }

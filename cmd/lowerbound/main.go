@@ -9,6 +9,10 @@
 //
 //	lowerbound -n 32 -alg flooding        # summary to stderr, CSV to stdout
 //	lowerbound -n 32 -csv=false           # summary only
+//
+// The broadcast algorithm and the free-edge adversary are resolved through
+// the component registry ("random" is accepted as shorthand for
+// "random-broadcast").
 package main
 
 import (
@@ -17,8 +21,9 @@ import (
 	"os"
 
 	"dynspread/internal/adversary"
-	"dynspread/internal/core"
+	_ "dynspread/internal/core" // register the bundled algorithms
 	"dynspread/internal/graph"
+	"dynspread/internal/registry"
 	"dynspread/internal/sim"
 	"dynspread/internal/token"
 	"dynspread/internal/trace"
@@ -27,7 +32,7 @@ import (
 func main() {
 	var (
 		n       = flag.Int("n", 32, "number of nodes (k = n, n-gossip start)")
-		alg     = flag.String("alg", "flooding", "broadcast algorithm: flooding | random")
+		alg     = flag.String("alg", "flooding", "broadcast algorithm: flooding | random-broadcast")
 		seed    = flag.Int64("seed", 1, "random seed")
 		emitCSV = flag.Bool("csv", true, "emit per-round CSV to stdout")
 	)
@@ -37,17 +42,37 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var factory sim.BroadcastFactory
-	switch *alg {
-	case "flooding":
-		factory = core.NewFlooding(0)
-	case "random":
-		factory = core.NewRandomBroadcast()
-	default:
-		fatal(fmt.Errorf("unknown algorithm %q", *alg))
+	algName := *alg
+	if algName == "random" { // historical shorthand
+		algName = "random-broadcast"
+	}
+	params := registry.Params{N: *n, K: *n, Sources: *n, Seed: *seed}
+	algSpec, err := registry.LookupAlgorithm(algName)
+	if err != nil {
+		fatal(err)
+	}
+	if algSpec.Mode != registry.Broadcast {
+		fatal(fmt.Errorf("%q is not a broadcast algorithm", algName))
+	}
+	factory, err := algSpec.Broadcast(params)
+	if err != nil {
+		fatal(err)
+	}
+	advSpec, err := registry.LookupAdversary("free-edge")
+	if err != nil {
+		fatal(err)
+	}
+	badv, err := advSpec.Broadcast(params)
+	if err != nil {
+		fatal(err)
+	}
+	// The tracer needs the adversary's potential-function bookkeeping, which
+	// only the concrete free-edge type exposes.
+	adv, ok := badv.(*adversary.FreeEdge)
+	if !ok {
+		fatal(fmt.Errorf("free-edge registry entry built a %T, not *adversary.FreeEdge", badv))
 	}
 
-	adv := adversary.NewFreeEdge(true, 1, *seed+7)
 	rec := trace.New()
 	res, err := sim.RunBroadcast(sim.BroadcastConfig{
 		Assign:    assign,
@@ -72,7 +97,7 @@ func main() {
 	}
 
 	st := adv.Stats()
-	fmt.Fprintf(os.Stderr, "n=%d k=%d alg=%s adversary=%s\n", *n, *n, *alg, adv.Name())
+	fmt.Fprintf(os.Stderr, "n=%d k=%d alg=%s adversary=%s\n", *n, *n, algName, adv.Name())
 	fmt.Fprintf(os.Stderr, "completed=%v rounds=%d broadcasts=%d amortized=%.1f msgs/token (n²=%d)\n",
 		res.Completed, res.Rounds, res.Metrics.Broadcasts,
 		res.Metrics.AmortizedPerToken(*n), (*n)*(*n))

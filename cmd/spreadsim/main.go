@@ -4,10 +4,10 @@
 // Usage:
 //
 //	spreadsim -n 64 -k 128 -s 1 -alg single-source -adv churn -seed 1
+//	spreadsim -list          # print every registered algorithm and adversary
 //
-// Algorithms: flooding, random-broadcast, single-source, multi-source,
-// oblivious, spanning-tree, topkis. Adversaries: static, churn, rewire,
-// markovian, regular, rotating-star, mobility, request-cutter, free-edge.
+// Algorithms and adversaries are resolved through the component registry;
+// -list shows everything the binary was built with.
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"dynspread"
+	"dynspread/internal/registry"
 )
 
 func main() {
@@ -24,14 +25,27 @@ func main() {
 		n         = flag.Int("n", 32, "number of nodes")
 		k         = flag.Int("k", 32, "number of tokens")
 		s         = flag.Int("s", 1, "number of source nodes")
-		alg       = flag.String("alg", "single-source", "algorithm")
-		adv       = flag.String("adv", "churn", "adversary")
+		alg       = flag.String("alg", "single-source", "algorithm (see -list)")
+		adv       = flag.String("adv", "churn", "adversary (see -list)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		maxRounds = flag.Int("max-rounds", 0, "round cap (0 = generous default)")
 		sigma     = flag.Int("sigma", 3, "edge stability for the churn adversary")
 		asJSON    = flag.Bool("json", false, "emit the report as JSON")
+		list      = flag.Bool("list", false, "list registered algorithms and adversaries, then exit")
 	)
 	flag.Parse()
+
+	if *list {
+		fmt.Println("algorithms:")
+		for _, spec := range registry.Algorithms() {
+			fmt.Printf("  %-18s (%s)  %s\n", spec.Name, spec.Mode, spec.Doc)
+		}
+		fmt.Println("adversaries:")
+		for _, spec := range registry.Adversaries() {
+			fmt.Printf("  %-18s (%s)  %s\n", spec.Name, spec.Modes, spec.Doc)
+		}
+		return
+	}
 
 	rep, err := dynspread.Run(dynspread.Config{
 		N: *n, K: *k, Sources: *s,

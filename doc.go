@@ -4,17 +4,26 @@
 // studying the amortized message complexity of k-token dissemination in
 // adversarial dynamic networks with token-forwarding algorithms.
 //
-// The root package is a facade over the building blocks in internal/:
+// The root package is a facade over the layers in internal/ (see
+// ARCHITECTURE.md):
 //
-//   - a synchronous dynamic-graph engine with per-Definition-1.1 message
-//     accounting and per-Definition-1.3 topological-change accounting,
-//   - the paper's algorithms (flooding, Single-Source-Unicast = Algorithm 1,
-//     Multi-Source-Unicast, Oblivious-Multi-Source-Unicast = Algorithm 2,
-//     plus static baselines),
-//   - oblivious and strongly adaptive adversaries (including the Section 2
-//     free-edge lower-bound adversary), and
-//   - the experiment harness that regenerates every table and figure
-//     (see EXPERIMENTS.md).
+//   - internal/sim — a single synchronous round engine with two
+//     communication modes (unicast and local broadcast), per-Definition-1.1
+//     message accounting, per-Definition-1.3 topological-change accounting,
+//     and reusable execution buffers (sim.Workspace),
+//   - internal/registry — the extension point where algorithms and
+//     adversaries self-describe (name, mode, builder, doc) and are resolved
+//     by name; adding one is a one-file change,
+//   - internal/core and internal/adversary — the paper's algorithms
+//     (flooding, Single-Source-Unicast = Algorithm 1, Multi-Source-Unicast,
+//     Oblivious-Multi-Source-Unicast = Algorithm 2, static baselines) and
+//     adversaries (oblivious sequences plus the strongly adaptive
+//     request-cutter and Section 2 free-edge lower-bound adversary), all
+//     self-registering,
+//   - internal/sweep — declarative trial grids executed on a worker pool
+//     sized to GOMAXPROCS with per-worker buffer reuse, and
+//   - internal/experiments — the harness that regenerates every table and
+//     figure (see EXPERIMENTS.md).
 //
 // Quick start:
 //
@@ -27,6 +36,10 @@
 //	if err != nil { ... }
 //	fmt.Println(report.Metrics.Messages, report.Metrics.TC, report.Rounds)
 //
+// Algorithm and Adversary values are registry names, so algorithms
+// registered by other packages are selectable here too. For thousands of
+// trials, use internal/sweep's grids instead of calling Run in a loop.
+//
 // See the examples/ directory for runnable scenarios and cmd/ for the CLI
-// tools.
+// tools (spreadsim -list prints every registered component).
 package dynspread

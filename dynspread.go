@@ -3,21 +3,25 @@ package dynspread
 import (
 	"fmt"
 
-	"dynspread/internal/adversary"
+	// Register the bundled adversaries; core (imported for ObliviousOpts)
+	// registers the bundled algorithms the same way.
+	_ "dynspread/internal/adversary"
 	"dynspread/internal/core"
-	"dynspread/internal/graph"
 	"dynspread/internal/sim"
-	"dynspread/internal/token"
+	"dynspread/internal/sweep"
 )
 
 // Metrics re-exports the engine's communication-cost measures (messages per
 // Definition 1.1, TC(E) per Definition 1.3, token learnings, rounds).
 type Metrics = sim.Metrics
 
-// Algorithm selects one of the paper's token-forwarding algorithms.
+// Algorithm selects one of the paper's token-forwarding algorithms. The
+// value is a registry name: any algorithm registered through
+// internal/registry (including ones added after this facade was written)
+// can be selected by its name.
 type Algorithm string
 
-// Available algorithms.
+// Algorithms bundled with the simulator.
 const (
 	// AlgFlooding is the naive local-broadcast flooder (Section 1; the
 	// O(n²)-amortized upper bound matching Theorem 2.3's lower bound).
@@ -39,10 +43,10 @@ const (
 	AlgTopkis Algorithm = "topkis"
 )
 
-// Adversary selects the dynamic-network adversary.
+// Adversary selects the dynamic-network adversary, again by registry name.
 type Adversary string
 
-// Available adversaries.
+// Adversaries bundled with the simulator.
 const (
 	// AdvStatic serves a fixed random connected graph.
 	AdvStatic Adversary = "static"
@@ -91,6 +95,10 @@ type Config struct {
 	Sigma int
 	// Oblivious tunes Algorithm 2 (zero value = paper parameters).
 	Oblivious core.ObliviousOpts
+	// Workspace, if non-nil, supplies reusable engine buffers for
+	// allocation-free repeated runs. Not safe for concurrent use; see
+	// sim.Workspace.
+	Workspace *sim.Workspace
 }
 
 // Report is the outcome of one simulation.
@@ -111,7 +119,10 @@ type Report struct {
 	AdversaryName string `json:"adversary"`
 }
 
-// Run executes one simulation described by cfg.
+// Run executes one simulation described by cfg. The algorithm and adversary
+// are resolved by name through internal/registry (via the sweep layer's
+// single trial runner), so algorithms registered by other packages work here
+// too.
 func Run(cfg Config) (*Report, error) {
 	if cfg.N < 2 {
 		return nil, fmt.Errorf("dynspread: need N >= 2, got %d", cfg.N)
@@ -119,87 +130,27 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.K < 1 {
 		return nil, fmt.Errorf("dynspread: need K >= 1, got %d", cfg.K)
 	}
-	s := cfg.Sources
-	if s <= 0 {
-		s = 1
+	algName := string(cfg.Algorithm)
+	if algName == "" {
+		algName = string(AlgSingleSource)
 	}
-	assign, err := token.Balanced(cfg.N, cfg.K, s)
+	advName := string(cfg.Adversary)
+	if advName == "" {
+		advName = string(AdvStatic)
+	}
+	res, name, err := sweep.RunTrial(sweep.Trial{
+		N: cfg.N, K: cfg.K, Sources: cfg.Sources,
+		Algorithm: algName,
+		Adversary: advName,
+		Seed:      cfg.Seed,
+		MaxRounds: cfg.MaxRounds,
+		Sigma:     cfg.Sigma,
+		Options:   cfg.Oblivious,
+	}, cfg.Workspace)
 	if err != nil {
 		return nil, fmt.Errorf("dynspread: %w", err)
 	}
-
-	switch cfg.Algorithm {
-	case AlgFlooding, AlgRandomBroadcast:
-		return runBroadcast(cfg, assign)
-	case AlgSingleSource, AlgMultiSource, AlgOblivious, AlgSpanningTree, AlgTopkis, "":
-		return runUnicast(cfg, assign)
-	default:
-		return nil, fmt.Errorf("dynspread: unknown algorithm %q", cfg.Algorithm)
-	}
-}
-
-func runUnicast(cfg Config, assign *token.Assignment) (*Report, error) {
-	var factory sim.Factory
-	switch cfg.Algorithm {
-	case AlgSingleSource, "":
-		factory = core.NewSingleSource()
-	case AlgMultiSource:
-		factory = core.NewMultiSource()
-	case AlgOblivious:
-		opts := cfg.Oblivious
-		if opts.Seed == 0 {
-			opts.Seed = cfg.Seed + 1
-		}
-		factory = core.NewOblivious(opts)
-	case AlgSpanningTree:
-		factory = core.NewSpanningTree()
-	case AlgTopkis:
-		factory = core.NewTopkis()
-	default:
-		return nil, fmt.Errorf("dynspread: %q is not a unicast algorithm", cfg.Algorithm)
-	}
-	adv, err := buildUnicastAdversary(cfg)
-	if err != nil {
-		return nil, err
-	}
-	res, err := sim.RunUnicast(sim.UnicastConfig{
-		Assign:    assign,
-		Factory:   factory,
-		Adversary: adv,
-		MaxRounds: cfg.MaxRounds,
-		Seed:      cfg.Seed,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return report(res, cfg.K, adv.Name()), nil
-}
-
-func runBroadcast(cfg Config, assign *token.Assignment) (*Report, error) {
-	var factory sim.BroadcastFactory
-	switch cfg.Algorithm {
-	case AlgFlooding:
-		factory = core.NewFlooding(0)
-	case AlgRandomBroadcast:
-		factory = core.NewRandomBroadcast()
-	default:
-		return nil, fmt.Errorf("dynspread: %q is not a broadcast algorithm", cfg.Algorithm)
-	}
-	adv, err := buildBroadcastAdversary(cfg)
-	if err != nil {
-		return nil, err
-	}
-	res, err := sim.RunBroadcast(sim.BroadcastConfig{
-		Assign:    assign,
-		Factory:   factory,
-		Adversary: adv,
-		MaxRounds: cfg.MaxRounds,
-		Seed:      cfg.Seed,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return report(res, cfg.K, adv.Name()), nil
+	return report(res, cfg.K, name), nil
 }
 
 func report(res *sim.Result, k int, advName string) *Report {
@@ -211,56 +162,4 @@ func report(res *sim.Result, k int, advName string) *Report {
 		CompetitiveResidual: res.Metrics.Competitive(1),
 		AdversaryName:       advName,
 	}
-}
-
-// buildSequence constructs the oblivious sequences shared by both modes.
-func buildSequence(cfg Config) (adversary.Sequence, error) {
-	switch cfg.Adversary {
-	case AdvStatic, "":
-		seed := cfg.Seed + 101
-		g := graph.RandomConnected(cfg.N, 2*cfg.N, newRand(seed))
-		return adversary.NewStatic(g), nil
-	case AdvChurn:
-		return adversary.NewChurn(cfg.N, adversary.ChurnOpts{Sigma: cfg.Sigma}, cfg.Seed+102)
-	case AdvRewire:
-		return adversary.NewRewire(cfg.N, 0, cfg.Seed+103)
-	case AdvMarkovian:
-		return adversary.NewMarkovian(cfg.N, 0.05, 0.2, cfg.Seed+104)
-	case AdvRegular:
-		return adversary.NewRegular(cfg.N, 6, cfg.Seed+105)
-	case AdvRotatingStar:
-		return adversary.NewRotatingStar(cfg.N, 2)
-	case AdvMobility:
-		return adversary.NewMobility(cfg.N, adversary.MobilityOpts{}, cfg.Seed+108)
-	default:
-		return nil, fmt.Errorf("dynspread: unknown oblivious adversary %q", cfg.Adversary)
-	}
-}
-
-func buildUnicastAdversary(cfg Config) (sim.Adversary, error) {
-	if cfg.Adversary == AdvRequestCutter {
-		return adversary.NewRequestCutter(cfg.N, 0, 0.6, cfg.Seed+106)
-	}
-	if cfg.Adversary == AdvFreeEdge {
-		return nil, fmt.Errorf("dynspread: free-edge adversary applies to broadcast algorithms only")
-	}
-	seq, err := buildSequence(cfg)
-	if err != nil {
-		return nil, err
-	}
-	return adversary.Oblivious(seq), nil
-}
-
-func buildBroadcastAdversary(cfg Config) (sim.BroadcastAdversary, error) {
-	if cfg.Adversary == AdvFreeEdge {
-		return adversary.NewFreeEdge(true, 1, cfg.Seed+107), nil
-	}
-	if cfg.Adversary == AdvRequestCutter {
-		return nil, fmt.Errorf("dynspread: request-cutter applies to unicast algorithms only")
-	}
-	seq, err := buildSequence(cfg)
-	if err != nil {
-		return nil, err
-	}
-	return adversary.ObliviousBroadcast(seq), nil
 }

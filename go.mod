@@ -1,0 +1,3 @@
+module dynspread
+
+go 1.24

@@ -1,0 +1,130 @@
+package adversary
+
+import (
+	"math/rand"
+
+	"dynspread/internal/graph"
+	"dynspread/internal/registry"
+	"dynspread/internal/sim"
+)
+
+// The paper's adversaries self-register here. Oblivious sequences serve
+// both communication modes through the Oblivious/ObliviousBroadcast
+// adapters; the strongly adaptive adversaries are tied to one mode each.
+//
+// Every builder derives its randomness from Params.Seed plus a fixed
+// per-adversary offset, so an algorithm's node streams (seed), the oblivious
+// algorithm's shared stream (seed+1), and each adversary stream never
+// collide. The offsets are the pre-registry facade's, kept verbatim so
+// golden-seed runs through dynspread.Run stay reproducible across the
+// refactor. (cmd/lowerbound used its own ad-hoc seed+7 before; resolving
+// through the registry moved it onto the shared offsets.)
+
+// StaticOpts is the registry.Params.AdvOptions type understood by the
+// "static" entry. M <= 0 selects the default edge count 2n.
+type StaticOpts struct {
+	M int
+}
+
+// RequestCutterOpts is the registry.Params.AdvOptions type understood by the
+// "request-cutter" entry. Zero fields select the registry defaults
+// (BaseEdges 2n, CutProb 0.6).
+type RequestCutterOpts struct {
+	BaseEdges int
+	CutProb   float64
+}
+
+// RewireOpts is the registry.Params.AdvOptions type understood by the
+// "rewire" entry. M <= 0 selects the default edge count.
+type RewireOpts struct {
+	M int
+}
+
+// registerSequence registers one oblivious sequence under both modes.
+func registerSequence(name, doc string, build func(registry.Params) (Sequence, error)) {
+	registry.RegisterAdversary(registry.Adversary{
+		Name:  name,
+		Doc:   doc,
+		Modes: registry.Unicast | registry.Broadcast,
+		Unicast: func(p registry.Params) (sim.Adversary, error) {
+			seq, err := build(p)
+			if err != nil {
+				return nil, err
+			}
+			return Oblivious(seq), nil
+		},
+		Broadcast: func(p registry.Params) (sim.BroadcastAdversary, error) {
+			seq, err := build(p)
+			if err != nil {
+				return nil, err
+			}
+			return ObliviousBroadcast(seq), nil
+		},
+	})
+}
+
+func init() {
+	registerSequence("static",
+		"fixed random connected graph (default m = 2n)",
+		func(p registry.Params) (Sequence, error) {
+			opts, _ := p.AdvOptions.(StaticOpts)
+			m := opts.M
+			if m <= 0 {
+				m = 2 * p.N
+			}
+			rng := rand.New(rand.NewSource(p.Seed + 101))
+			return NewStatic(graph.RandomConnected(p.N, m, rng)), nil
+		})
+	registerSequence("churn",
+		"σ-edge-stable random churn (σ = Sigma, default 3; Theorems 3.4/3.6)",
+		func(p registry.Params) (Sequence, error) {
+			return NewChurn(p.N, ChurnOpts{Sigma: p.Sigma}, p.Seed+102)
+		})
+	registerSequence("rewire",
+		"fresh random connected graph every round",
+		func(p registry.Params) (Sequence, error) {
+			opts, _ := p.AdvOptions.(RewireOpts)
+			return NewRewire(p.N, opts.M, p.Seed+103)
+		})
+	registerSequence("markovian",
+		"edge-Markovian evolving graph (pOn=0.05, pOff=0.2)",
+		func(p registry.Params) (Sequence, error) {
+			return NewMarkovian(p.N, 0.05, 0.2, p.Seed+104)
+		})
+	registerSequence("regular",
+		"fresh random near-6-regular graphs (Algorithm 2's substrate, Lemma 3.7)",
+		func(p registry.Params) (Sequence, error) {
+			return NewRegular(p.N, 6, p.Seed+105)
+		})
+	registerSequence("rotating-star",
+		"star with rotating center: Θ(n) topological changes per rotation",
+		func(p registry.Params) (Sequence, error) {
+			return NewRotatingStar(p.N, 2)
+		})
+	registerSequence("mobility",
+		"unit-disk graphs of nodes drifting through an arena",
+		func(p registry.Params) (Sequence, error) {
+			return NewMobility(p.N, MobilityOpts{}, p.Seed+108)
+		})
+
+	registry.RegisterAdversary(registry.Adversary{
+		Name:  "request-cutter",
+		Doc:   "strongly adaptive: cuts request-carrying edges (stresses Theorems 3.1/3.5)",
+		Modes: registry.Unicast,
+		Unicast: func(p registry.Params) (sim.Adversary, error) {
+			opts, _ := p.AdvOptions.(RequestCutterOpts)
+			if opts.CutProb <= 0 {
+				opts.CutProb = 0.6
+			}
+			return NewRequestCutter(p.N, opts.BaseEdges, opts.CutProb, p.Seed+106)
+		},
+	})
+	registry.RegisterAdversary(registry.Adversary{
+		Name:  "free-edge",
+		Doc:   "Section 2 strongly adaptive local-broadcast lower-bound adversary",
+		Modes: registry.Broadcast,
+		Broadcast: func(p registry.Params) (sim.BroadcastAdversary, error) {
+			return NewFreeEdge(true, 1, p.Seed+107), nil
+		},
+	})
+}

@@ -75,15 +75,21 @@ func (a *RequestCutter) NextGraph(view *sim.View) *graph.Graph {
 		return a.cur.Clone()
 	}
 	// Hot edges: they carried a request last round, so this round they would
-	// carry the responding token.
-	hot := make(map[graph.Edge]bool)
+	// carry the responding token. LastSent is delivery-sorted, so collecting
+	// into a slice (deduped) keeps the RNG draw order deterministic — ranging
+	// over a map here made runs irreproducible.
+	seen := make(map[graph.Edge]bool, len(view.LastSent))
+	hot := make([]graph.Edge, 0, len(view.LastSent))
 	for i := range view.LastSent {
 		m := &view.LastSent[i]
 		if m.Request != nil {
-			hot[graph.NewEdge(m.From, m.To)] = true
+			if e := graph.NewEdge(m.From, m.To); !seen[e] {
+				seen[e] = true
+				hot = append(hot, e)
+			}
 		}
 	}
-	for e := range hot {
+	for _, e := range hot {
 		if !a.cur.HasEdge(e.U, e.V) {
 			continue
 		}

@@ -4,10 +4,8 @@ import (
 	"fmt"
 
 	"dynspread/internal/adversary"
-	"dynspread/internal/core"
-	"dynspread/internal/sim"
+	"dynspread/internal/sweep"
 	"dynspread/internal/tablefmt"
-	"dynspread/internal/token"
 )
 
 // E3SingleSourceMessages reproduces Theorem 3.1: the Single-Source-Unicast
@@ -21,86 +19,82 @@ func E3SingleSourceMessages(cfg Config) (*tablefmt.Table, error) {
 		Title:  "E3 (Theorem 3.1): single-source unicast, competitive residual vs n²+nk",
 		Header: []string{"n", "k", "adversary", "rounds", "messages", "TC", "residual M−TC", "n²+nk", "ratio"},
 	}
+	var trials []sweep.Trial
 	for _, n := range ns {
 		for _, k := range []int{n / 2, n, 4 * n} {
-			assign, err := token.SingleSource(n, k, 0)
-			if err != nil {
-				return nil, err
-			}
-			advs := make(map[string]sim.Adversary, 2)
-			cutter, err := adversary.NewRequestCutter(n, 0, 0.6, cfg.Seed+int64(n*k))
-			if err != nil {
-				return nil, err
-			}
-			advs["request-cutter"] = cutter
 			// Dense rewiring: a fresh graph with n²/6 edges per round keeps
 			// per-edge survival probability ≈ 1/3, so request/response
 			// exchanges still land while TC grows by Θ(n²) per round — the
 			// adversary pays maximally under Definition 1.3.
-			rewire, err := adversary.NewRewire(n, n*n/6, cfg.Seed+int64(n*k)+1)
-			if err != nil {
-				return nil, err
-			}
-			advs["rewire"] = adversary.Oblivious(rewire)
-			for _, name := range []string{"request-cutter", "rewire"} {
-				res, err := sim.RunUnicast(sim.UnicastConfig{
-					Assign:    assign,
-					Factory:   core.NewSingleSource(),
-					Adversary: advs[name],
-					Seed:      cfg.Seed,
-					MaxRounds: 400 * n * k,
+			for _, adv := range []struct {
+				name string
+				opts any
+			}{
+				{"request-cutter", adversary.RequestCutterOpts{CutProb: 0.6}},
+				{"rewire", adversary.RewireOpts{M: n * n / 6}},
+			} {
+				trials = append(trials, sweep.Trial{
+					N: n, K: k,
+					Algorithm:  "single-source",
+					Adversary:  adv.name,
+					Seed:       cfg.Seed + int64(n*k),
+					MaxRounds:  400 * n * k,
+					AdvOptions: adv.opts,
 				})
-				if err != nil {
-					return nil, err
-				}
-				if !res.Completed {
-					return nil, fmt.Errorf("incomplete n=%d k=%d adv=%s", n, k, name)
-				}
-				residual := res.Metrics.Competitive(1)
-				bound := float64(n*n + n*k)
-				tb.AddRowf(n, k, name, res.Rounds, res.Metrics.Messages,
-					res.Metrics.TC, residual, n*n+n*k, residual/bound)
 			}
 		}
+	}
+	results, err := sweep.Run(trials, sweep.Options{})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range results {
+		n, k := r.Trial.N, r.Trial.K
+		if !r.Res.Completed {
+			return nil, fmt.Errorf("incomplete n=%d k=%d adv=%s", n, k, r.Trial.Adversary)
+		}
+		residual := r.Res.Metrics.Competitive(1)
+		bound := float64(n*n + n*k)
+		tb.AddRowf(n, k, r.Trial.Adversary, r.Res.Rounds, r.Res.Metrics.Messages,
+			r.Res.Metrics.TC, residual, n*n+n*k, residual/bound)
 	}
 	tb.Notes = "Theorem 3.1 predicts the ratio column is O(1) across the whole sweep."
 	return tb, nil
 }
 
 // E4SingleSourceRounds reproduces Theorem 3.4: on 3-edge-stable dynamic
-// graphs the algorithm terminates in O(nk) rounds.
+// graphs the algorithm terminates in O(nk) rounds. CheckStability makes the
+// engine verify the churn adversary really is 3-edge-stable.
 func E4SingleSourceRounds(cfg Config) (*tablefmt.Table, error) {
 	ns := cfg.pick([]int{16, 32}, []int{16, 32, 64, 96})
 	tb := &tablefmt.Table{
 		Title:  "E4 (Theorem 3.4): single-source rounds on 3-edge-stable churn",
 		Header: []string{"n", "k", "rounds", "nk", "rounds/nk"},
 	}
+	var trials []sweep.Trial
 	for _, n := range ns {
 		for _, k := range []int{n / 2, n, 2 * n} {
-			assign, err := token.SingleSource(n, k, 0)
-			if err != nil {
-				return nil, err
-			}
-			churn, err := adversary.NewChurn(n, adversary.ChurnOpts{Sigma: 3}, cfg.Seed+int64(n*k))
-			if err != nil {
-				return nil, err
-			}
-			res, err := sim.RunUnicast(sim.UnicastConfig{
-				Assign:         assign,
-				Factory:        core.NewSingleSource(),
-				Adversary:      adversary.Oblivious(churn),
-				Seed:           cfg.Seed,
+			trials = append(trials, sweep.Trial{
+				N: n, K: k,
+				Algorithm:      "single-source",
+				Adversary:      "churn",
+				Seed:           cfg.Seed + int64(n*k),
+				Sigma:          3,
 				CheckStability: 3,
 				MaxRounds:      100 * n * k,
 			})
-			if err != nil {
-				return nil, err
-			}
-			if !res.Completed {
-				return nil, fmt.Errorf("incomplete n=%d k=%d", n, k)
-			}
-			tb.AddRowf(n, k, res.Rounds, n*k, float64(res.Rounds)/float64(n*k))
 		}
+	}
+	results, err := sweep.Run(trials, sweep.Options{})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range results {
+		n, k := r.Trial.N, r.Trial.K
+		if !r.Res.Completed {
+			return nil, fmt.Errorf("incomplete n=%d k=%d", n, k)
+		}
+		tb.AddRowf(n, k, r.Res.Rounds, n*k, float64(r.Res.Rounds)/float64(n*k))
 	}
 	tb.Notes = "Theorem 3.4 predicts rounds/nk = O(1); in practice stable churn completes far below the bound."
 	return tb, nil
@@ -115,51 +109,46 @@ func E5MultiSource(cfg Config) (*tablefmt.Table, error) {
 		Title:  "E5 (Theorems 3.5/3.6): multi-source unicast over an s-sweep",
 		Header: []string{"n", "s", "k", "adversary", "rounds", "messages", "TC", "residual", "n²s+nk", "ratio", "rounds/nk"},
 	}
+	var trials []sweep.Trial
 	for _, n := range ns {
 		for _, s := range []int{1, 4, n / 2, n} {
 			k := 2 * n
 			if k < s {
 				k = s
 			}
-			assign, err := token.Balanced(n, k, s)
-			if err != nil {
-				return nil, err
-			}
-			cutter, err := adversary.NewRequestCutter(n, 0, 0.5, cfg.Seed+int64(n*s))
-			if err != nil {
-				return nil, err
-			}
-			churn, err := adversary.NewChurn(n, adversary.ChurnOpts{Sigma: 3}, cfg.Seed+int64(n*s)+7)
-			if err != nil {
-				return nil, err
-			}
-			for _, tc := range []struct {
+			for _, adv := range []struct {
 				name string
-				adv  sim.Adversary
+				opts any
 			}{
-				{"request-cutter", cutter},
-				{"churn(σ=3)", adversary.Oblivious(churn)},
+				{"request-cutter", adversary.RequestCutterOpts{CutProb: 0.5}},
+				{"churn", nil},
 			} {
-				res, err := sim.RunUnicast(sim.UnicastConfig{
-					Assign:    assign,
-					Factory:   core.NewMultiSource(),
-					Adversary: tc.adv,
-					Seed:      cfg.Seed,
-					MaxRounds: 400 * n * k,
+				trials = append(trials, sweep.Trial{
+					N: n, K: k, Sources: s,
+					Algorithm:  "multi-source",
+					Adversary:  adv.name,
+					Seed:       cfg.Seed + int64(n*s),
+					Sigma:      3,
+					MaxRounds:  400 * n * k,
+					AdvOptions: adv.opts,
 				})
-				if err != nil {
-					return nil, err
-				}
-				if !res.Completed {
-					return nil, fmt.Errorf("incomplete n=%d s=%d adv=%s", n, s, tc.name)
-				}
-				residual := res.Metrics.Competitive(1)
-				bound := float64(n*n*s + n*k)
-				tb.AddRowf(n, s, k, tc.name, res.Rounds, res.Metrics.Messages,
-					res.Metrics.TC, residual, n*n*s+n*k, residual/bound,
-					float64(res.Rounds)/float64(n*k))
 			}
 		}
+	}
+	results, err := sweep.Run(trials, sweep.Options{})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range results {
+		n, s, k := r.Trial.N, r.Trial.Sources, r.Trial.K
+		if !r.Res.Completed {
+			return nil, fmt.Errorf("incomplete n=%d s=%d adv=%s", n, s, r.Trial.Adversary)
+		}
+		residual := r.Res.Metrics.Competitive(1)
+		bound := float64(n*n*s + n*k)
+		tb.AddRowf(n, s, k, r.AdversaryName, r.Res.Rounds, r.Res.Metrics.Messages,
+			r.Res.Metrics.TC, residual, n*n*s+n*k, residual/bound,
+			float64(r.Res.Rounds)/float64(n*k))
 	}
 	tb.Notes = "Theorem 3.5 predicts the ratio column is O(1); Theorem 3.6 predicts rounds/nk = O(1) on the churn rows."
 	return tb, nil

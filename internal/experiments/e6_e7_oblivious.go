@@ -8,9 +8,8 @@ import (
 
 	"dynspread/internal/adversary"
 	"dynspread/internal/core"
-	"dynspread/internal/sim"
+	"dynspread/internal/sweep"
 	"dynspread/internal/tablefmt"
-	"dynspread/internal/token"
 	"dynspread/internal/walk"
 )
 
@@ -54,59 +53,43 @@ func E6Table1(cfg Config) (*tablefmt.Table, error) {
 		Title:  fmt.Sprintf("E6 (Table 1, Theorem 3.8): amortized messages vs k at n=%d, s=n, oblivious regular dynamics", n),
 		Header: []string{"k", "algorithm", "rounds", "messages", "walk msgs", "amortized/token", "paper shape n^2.5·log^1.25/k^.75 (scaled)"},
 	}
+	// One declarative grid: every k against both algorithms on the same
+	// near-regular substrate. The grid expands k-major with algorithms
+	// adjacent, which is exactly the table's row order. The ObliviousOpts
+	// only apply to the "oblivious" rows; multi-source takes no options.
+	results, err := sweep.RunGrid(sweep.Grid{
+		Ns:          []int{n},
+		Ks:          ks,
+		Sources:     []int{n},
+		Algorithms:  []string{"oblivious", "multi-source"},
+		Adversaries: []string{"regular"},
+		Seeds:       []int64{cfg.Seed},
+		MaxRounds:   2000 * n,
+		Options:     core.ObliviousOpts{Seed: cfg.Seed + 1, ForceTwoPhase: true, CF: 0.05},
+	}, sweep.Options{})
+	if err != nil {
+		return nil, err
+	}
 	type row struct {
 		k        int
 		amortObl float64
 	}
 	var rows []row
-	for _, k := range ks {
-		assign, err := token.Balanced(n, k, n)
-		if err != nil {
-			return nil, err
+	for _, r := range results {
+		k := r.Trial.K
+		if !r.Res.Completed {
+			return nil, fmt.Errorf("%s incomplete at k=%d (rounds=%d)", r.Trial.Algorithm, k, r.Res.Rounds)
 		}
 		paperShape := math.Pow(float64(n), 2.5) * math.Pow(lg, 1.25) / math.Pow(float64(k), 0.75)
-
-		reg, err := adversary.NewRegular(n, 6, cfg.Seed+int64(k))
-		if err != nil {
-			return nil, err
+		amort := r.Res.Metrics.AmortizedPerToken(k)
+		if r.Trial.Algorithm == "oblivious" {
+			tb.AddRowf(k, "Oblivious (Alg. 2)", r.Res.Rounds, r.Res.Metrics.Messages,
+				r.Res.Metrics.WalkPayloads, amort, paperShape)
+			rows = append(rows, row{k, amort})
+		} else {
+			tb.AddRowf(k, "MultiSource (direct)", r.Res.Rounds, r.Res.Metrics.Messages,
+				0, amort, paperShape)
 		}
-		res, err := sim.RunUnicast(sim.UnicastConfig{
-			Assign:    assign,
-			Factory:   core.NewOblivious(core.ObliviousOpts{Seed: cfg.Seed + 1, ForceTwoPhase: true, CF: 0.05}),
-			Adversary: adversary.Oblivious(reg),
-			Seed:      cfg.Seed,
-			MaxRounds: 2000 * n,
-		})
-		if err != nil {
-			return nil, err
-		}
-		if !res.Completed {
-			return nil, fmt.Errorf("oblivious incomplete at k=%d (rounds=%d)", k, res.Rounds)
-		}
-		amort := res.Metrics.AmortizedPerToken(k)
-		tb.AddRowf(k, "Oblivious (Alg. 2)", res.Rounds, res.Metrics.Messages,
-			res.Metrics.WalkPayloads, amort, paperShape)
-		rows = append(rows, row{k, amort})
-
-		reg2, err := adversary.NewRegular(n, 6, cfg.Seed+int64(k)+3)
-		if err != nil {
-			return nil, err
-		}
-		res2, err := sim.RunUnicast(sim.UnicastConfig{
-			Assign:    assign,
-			Factory:   core.NewMultiSource(),
-			Adversary: adversary.Oblivious(reg2),
-			Seed:      cfg.Seed,
-			MaxRounds: 2000 * n,
-		})
-		if err != nil {
-			return nil, err
-		}
-		if !res2.Completed {
-			return nil, fmt.Errorf("multisource incomplete at k=%d", k)
-		}
-		tb.AddRowf(k, "MultiSource (direct)", res2.Rounds, res2.Metrics.Messages,
-			0, res2.Metrics.AmortizedPerToken(k), paperShape)
 	}
 	decreasing := true
 	for i := 1; i < len(rows); i++ {

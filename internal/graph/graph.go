@@ -172,8 +172,24 @@ func (g *Graph) Equal(o *Graph) bool {
 	return true
 }
 
-// DSU returns a union-find structure with g's edges applied.
+// DSU returns a union-find structure with g's edges applied. Edges are
+// unioned in canonical sorted order so component-root identity (and hence
+// everything derived from Representatives) is deterministic — map order here
+// used to leak into Connectify's RNG draws and break run reproducibility.
+// Callers that only need component counts should use Connected/Components,
+// which skip the sort.
 func (g *Graph) DSU() *unionfind.DSU {
+	d := unionfind.New(g.n)
+	for _, e := range g.Edges() {
+		d.Union(e.U, e.V)
+	}
+	return d
+}
+
+// dsuUnordered applies g's edges in map order: component counts are
+// order-independent, so the hot connectivity checks (one per engine round)
+// avoid DSU()'s edge sort and allocation.
+func (g *Graph) dsuUnordered() *unionfind.DSU {
 	d := unionfind.New(g.n)
 	for e := range g.edges {
 		d.Union(e.U, e.V)
@@ -186,11 +202,11 @@ func (g *Graph) Connected() bool {
 	if g.n <= 1 {
 		return true
 	}
-	return g.DSU().Components() == 1
+	return g.dsuUnordered().Components() == 1
 }
 
 // Components returns the number of connected components.
-func (g *Graph) Components() int { return g.DSU().Components() }
+func (g *Graph) Components() int { return g.dsuUnordered().Components() }
 
 // ConnectedWithout reports whether the graph stays connected after removing
 // edge e (which need not exist; then it is just Connected).

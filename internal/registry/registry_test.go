@@ -1,0 +1,93 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+
+	"dynspread/internal/sim"
+)
+
+func fakeUnicastBuilder(Params) (sim.Factory, error)            { return nil, nil }
+func fakeBroadcastBuilder(Params) (sim.BroadcastFactory, error) { return nil, nil }
+func fakeAdvBuilder(Params) (sim.Adversary, error)              { return nil, nil }
+
+func TestRegisterAndLookupAlgorithm(t *testing.T) {
+	RegisterAlgorithm(Algorithm{
+		Name: "test-alg", Doc: "test", Mode: Unicast, Unicast: fakeUnicastBuilder,
+	})
+	spec, err := LookupAlgorithm("test-alg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Mode != Unicast || spec.Unicast == nil {
+		t.Fatalf("bad spec %+v", spec)
+	}
+	found := false
+	for _, s := range Algorithms() {
+		if s.Name == "test-alg" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("test-alg missing from listing")
+	}
+}
+
+func TestLookupUnknownNamesKnown(t *testing.T) {
+	_, err := LookupAlgorithm("definitely-not-registered")
+	if err == nil || !strings.Contains(err.Error(), "unknown algorithm") {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := LookupAdversary("definitely-not-registered"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRegisterPanicsOnDuplicate(t *testing.T) {
+	RegisterAlgorithm(Algorithm{Name: "dup-alg", Mode: Broadcast, Broadcast: fakeBroadcastBuilder})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration must panic")
+		}
+	}()
+	RegisterAlgorithm(Algorithm{Name: "dup-alg", Mode: Broadcast, Broadcast: fakeBroadcastBuilder})
+}
+
+func TestRegisterPanicsOnModeBuilderMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mode/builder mismatch must panic")
+		}
+	}()
+	RegisterAlgorithm(Algorithm{Name: "broken-alg", Mode: Unicast, Broadcast: fakeBroadcastBuilder})
+}
+
+func TestRegisterAdversaryModeMask(t *testing.T) {
+	RegisterAdversary(Adversary{Name: "test-adv", Modes: Unicast, Unicast: fakeAdvBuilder})
+	spec, err := LookupAdversary("test-adv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.Modes.Has(Unicast) || spec.Modes.Has(Broadcast) {
+		t.Fatalf("bad modes %v", spec.Modes)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("adversary without builder for declared mode must panic")
+		}
+	}()
+	RegisterAdversary(Adversary{Name: "broken-adv", Modes: Unicast | Broadcast, Unicast: fakeAdvBuilder})
+}
+
+func TestModeString(t *testing.T) {
+	for mode, want := range map[Mode]string{
+		Unicast:             "unicast",
+		Broadcast:           "broadcast",
+		Unicast | Broadcast: "unicast|broadcast",
+		0:                   "none",
+	} {
+		if got := mode.String(); got != want {
+			t.Errorf("Mode(%d).String() = %q, want %q", mode, got, want)
+		}
+	}
+}

@@ -2,9 +2,7 @@ package sim
 
 import (
 	"fmt"
-	"math/rand"
 
-	"dynspread/internal/bitset"
 	"dynspread/internal/graph"
 	"dynspread/internal/token"
 )
@@ -23,133 +21,127 @@ type BroadcastConfig struct {
 	Seed      int64
 	// OnRound, if non-nil, observes each round: the graph, the committed
 	// choices, and the number of token learnings that happened this round.
+	// The choices slice is only valid for the duration of the callback.
 	OnRound func(r int, g *graph.Graph, choices []token.ID, learned int64)
+	// Workspace, if non-nil, supplies reusable buffers (see Workspace).
+	Workspace *Workspace
 }
 
 // RunBroadcast executes a local-broadcast protocol against a (possibly
 // strongly adaptive) adversary until all nodes know all tokens or MaxRounds
-// elapses.
+// elapses. It is a thin wrapper plugging the broadcast mode into the shared
+// round engine.
 func RunBroadcast(cfg BroadcastConfig) (*Result, error) {
-	if cfg.Assign == nil {
-		return nil, fmt.Errorf("sim: nil assignment")
-	}
-	if cfg.Factory == nil {
-		return nil, fmt.Errorf("sim: nil factory")
-	}
-	if cfg.Adversary == nil {
-		return nil, fmt.Errorf("sim: nil adversary")
-	}
-	n, k := cfg.Assign.N(), cfg.Assign.K()
-	if n < 2 {
-		return nil, fmt.Errorf("sim: need n >= 2 nodes, got %d", n)
-	}
-	maxRounds := cfg.MaxRounds
-	if maxRounds <= 0 {
-		maxRounds = DefaultMaxRounds(n, k)
-	}
+	return runEngine(engineConfig{
+		assign:    cfg.Assign,
+		maxRounds: cfg.MaxRounds,
+		seed:      cfg.Seed,
+		ws:        cfg.Workspace,
+	}, &broadcastMode{cfg: cfg})
+}
 
-	know := make([]*bitset.Set, n)
-	protos := make([]BroadcastProtocol, n)
-	rootRng := rand.New(rand.NewSource(cfg.Seed))
+// broadcastMode is the local-broadcast half of the engine: nodes commit one
+// token (or ⊥) before the graph exists, the adversary wires the round with
+// full knowledge of those commitments, and every broadcast reaches all of
+// the sender's neighbors.
+type broadcastMode struct {
+	cfg     BroadcastConfig
+	st      *engineState
+	view    BroadcastView
+	protos  []BroadcastProtocol
+	choices []token.ID
+	heard   [][]BroadcastHear
+}
+
+func (m *broadcastMode) check() error {
+	if m.cfg.Factory == nil {
+		return fmt.Errorf("sim: nil factory")
+	}
+	if m.cfg.Adversary == nil {
+		return fmt.Errorf("sim: nil adversary")
+	}
+	return nil
+}
+
+func (m *broadcastMode) bind(st *engineState) {
+	m.st = st
+	m.view = BroadcastView{View: View{N: st.n, K: st.k, know: st.know}}
+	m.protos = m.cfg.Workspace.broadcastProtocolsFor(st.n)
+	m.choices = m.cfg.Workspace.choicesFor(st.n)
+	m.heard = m.cfg.Workspace.heardFor(st.n)
+}
+
+func (m *broadcastMode) newProto(env NodeEnv) error {
+	p := m.cfg.Factory(env)
+	if p == nil {
+		return fmt.Errorf("sim: factory returned nil protocol for node %d", env.ID)
+	}
+	m.protos[env.ID] = p
+	return nil
+}
+
+func (m *broadcastMode) advName() string { return m.cfg.Adversary.Name() }
+
+// commit lets every node commit its broadcast (token-forwarding checked)
+// before the adversary sees anything of the round.
+func (m *broadcastMode) commit(r int) error {
+	k := m.st.k
+	know, metrics := m.st.know, &m.st.metrics
+	for v := 0; v < m.st.n; v++ {
+		c := m.protos[v].Choose(r)
+		if c != token.None {
+			if c < 0 || c >= k {
+				return fmt.Errorf("sim: round %d: node %d broadcast invalid token %d", r, v, c)
+			}
+			if !know[v].Contains(c) {
+				return fmt.Errorf("sim: round %d: node %d broadcast token %d it does not hold", r, v, c)
+			}
+			metrics.Broadcasts++
+			metrics.Messages++
+		}
+		m.choices[v] = c
+	}
+	return nil
+}
+
+// wire hands the adversary the round's committed choices along with the
+// execution view (the paper's strongly adaptive adversary).
+func (m *broadcastMode) wire(r int, prev *graph.Graph) *graph.Graph {
+	m.view.Round = r
+	m.view.Prev = prev
+	m.view.Choices = m.choices
+	return m.cfg.Adversary.NextGraph(&m.view)
+}
+
+// exchange delivers every committed broadcast to the round's neighbors.
+func (m *broadcastMode) exchange(r int, g *graph.Graph) (int64, error) {
+	n := m.st.n
+	know, metrics := m.st.know, &m.st.metrics
+	for v := range m.heard {
+		m.heard[v] = m.heard[v][:0]
+	}
+	var learned int64
 	for v := 0; v < n; v++ {
-		know[v] = bitset.New(k)
-		initial := append([]token.ID(nil), cfg.Assign.TokensOf(v)...)
-		for _, t := range initial {
-			know[v].Add(t)
+		if m.choices[v] == token.None {
+			continue
 		}
-		protos[v] = cfg.Factory(NodeEnv{
-			ID:         v,
-			N:          n,
-			K:          k,
-			NumSources: cfg.Assign.NumSources(),
-			Initial:    initial,
-			InfoOf:     cfg.Assign.Info,
-			Rng:        rand.New(rand.NewSource(rootRng.Int63())),
-		})
-		if protos[v] == nil {
-			return nil, fmt.Errorf("sim: factory returned nil protocol for node %d", v)
+		for _, u := range g.Neighbors(v) {
+			if !know[u].Contains(m.choices[v]) {
+				know[u].Add(m.choices[v])
+				metrics.Learnings++
+				learned++
+			}
+			m.heard[u] = append(m.heard[u], BroadcastHear{From: v, Token: m.choices[v]})
 		}
 	}
-
-	var metrics Metrics
-	prev := graph.New(n)
-	view := &BroadcastView{View: View{N: n, K: k, know: know}}
-
-	complete := func() bool {
-		for v := 0; v < n; v++ {
-			if !know[v].Full() {
-				return false
-			}
-		}
-		return true
+	for v := 0; v < n; v++ {
+		m.protos[v].Deliver(r, m.heard[v])
 	}
-	if complete() {
-		return &Result{Completed: true, Rounds: 0, Metrics: metrics}, nil
+	return learned, nil
+}
+
+func (m *broadcastMode) observe(r int, g *graph.Graph, learned int64) {
+	if m.cfg.OnRound != nil {
+		m.cfg.OnRound(r, g, m.choices, learned)
 	}
-
-	choices := make([]token.ID, n)
-	heard := make([][]BroadcastHear, n)
-	for r := 1; r <= maxRounds; r++ {
-		// 1. Nodes commit their broadcasts (token-forwarding checked).
-		for v := 0; v < n; v++ {
-			c := protos[v].Choose(r)
-			if c != token.None {
-				if c < 0 || c >= k {
-					return nil, fmt.Errorf("sim: round %d: node %d broadcast invalid token %d", r, v, c)
-				}
-				if !know[v].Contains(c) {
-					return nil, fmt.Errorf("sim: round %d: node %d broadcast token %d it does not hold", r, v, c)
-				}
-				metrics.Broadcasts++
-				metrics.Messages++
-			}
-			choices[v] = c
-		}
-
-		// 2. The adversary wires the round with full knowledge of choices.
-		view.Round = r
-		view.Prev = prev
-		view.Choices = choices
-		g := cfg.Adversary.NextGraph(view)
-		if g == nil || g.N() != n {
-			return nil, fmt.Errorf("sim: adversary %q returned invalid graph in round %d", cfg.Adversary.Name(), r)
-		}
-		if !g.Connected() {
-			return nil, fmt.Errorf("sim: adversary %q returned disconnected graph in round %d", cfg.Adversary.Name(), r)
-		}
-		diff := graph.Compute(prev, g)
-		metrics.TC += int64(len(diff.Inserted))
-		metrics.Removals += int64(len(diff.Removed))
-
-		// 3. Deliver every broadcast to the round's neighbors.
-		for v := range heard {
-			heard[v] = heard[v][:0]
-		}
-		var learned int64
-		for v := 0; v < n; v++ {
-			if choices[v] == token.None {
-				continue
-			}
-			for _, u := range g.Neighbors(v) {
-				if !know[u].Contains(choices[v]) {
-					know[u].Add(choices[v])
-					metrics.Learnings++
-					learned++
-				}
-				heard[u] = append(heard[u], BroadcastHear{From: v, Token: choices[v]})
-			}
-		}
-		for v := 0; v < n; v++ {
-			protos[v].Deliver(r, heard[v])
-		}
-		metrics.Rounds = r
-		if cfg.OnRound != nil {
-			cfg.OnRound(r, g, choices, learned)
-		}
-		prev = g
-		if complete() {
-			return &Result{Completed: true, Rounds: r, Metrics: metrics}, nil
-		}
-	}
-	return &Result{Completed: false, Rounds: maxRounds, Metrics: metrics}, nil
 }

@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dynspread/internal/bitset"
+	"dynspread/internal/graph"
+	"dynspread/internal/token"
+)
+
+// This file holds the single round engine shared by both communication
+// modes. One execution is: setup (knowledge sets, per-node protocol
+// instances) and then, per round,
+//
+//	commit → adversary graph → validate → TC accounting → exchange → observe
+//
+// where commit is the pre-graph half of the round (local broadcast: nodes
+// commit their broadcasts before the strongly adaptive adversary wires the
+// graph; unicast: nothing) and exchange is the post-graph half (unicast:
+// BeginRound/Send/validate/deliver; broadcast: deliver the committed
+// broadcasts to the round's neighbors). RunUnicast and RunBroadcast are thin
+// wrappers that plug their engineMode into runEngine.
+
+// DefaultMaxRounds returns a generous round cap for an (n, k) instance:
+// well above the paper's O(nk) bounds, so hitting it signals a liveness bug
+// or an unsatisfied stability assumption rather than normal slowness.
+func DefaultMaxRounds(n, k int) int {
+	r := 40*n*k + 40*n
+	if r < 1000 {
+		r = 1000
+	}
+	return r
+}
+
+// engineConfig is the mode-independent part of an execution configuration.
+type engineConfig struct {
+	assign         *token.Assignment
+	maxRounds      int
+	seed           int64
+	checkStability int
+	ws             *Workspace
+}
+
+// engineMode plugs one communication mode into the shared round loop. Every
+// method may touch the engineState the mode was bound to.
+type engineMode interface {
+	// check validates the mode-specific configuration (nil factory or
+	// adversary) before any setup happens.
+	check() error
+	// bind hands the mode the freshly initialized shared state; the mode
+	// sets up its view and per-node buffers here.
+	bind(st *engineState)
+	// newProto builds node env.ID's protocol instance from its environment.
+	newProto(env NodeEnv) error
+	// advName identifies the adversary in engine error messages.
+	advName() string
+	// commit runs the pre-graph half of round r.
+	commit(r int) error
+	// wire asks the adversary for round r's graph; prev is round r-1's graph
+	// (the empty graph before round 1).
+	wire(r int, prev *graph.Graph) *graph.Graph
+	// exchange runs the post-graph half of round r on graph g, doing all
+	// per-message accounting; it returns the number of token-learning events.
+	exchange(r int, g *graph.Graph) (learned int64, err error)
+	// observe reports the finished round to the caller's OnRound hook.
+	observe(r int, g *graph.Graph, learned int64)
+}
+
+// engineState is the execution state shared between the round loop and the
+// communication mode: per-node knowledge sets and the metrics accumulator.
+type engineState struct {
+	n, k    int
+	know    []*bitset.Set
+	metrics Metrics
+}
+
+func (st *engineState) complete() bool {
+	for v := 0; v < st.n; v++ {
+		if !st.know[v].Full() {
+			return false
+		}
+	}
+	return true
+}
+
+// runEngine executes the shared round structure for one mode. This is the
+// only round loop in the package.
+func runEngine(cfg engineConfig, mode engineMode) (*Result, error) {
+	if cfg.assign == nil {
+		return nil, fmt.Errorf("sim: nil assignment")
+	}
+	if err := mode.check(); err != nil {
+		return nil, err
+	}
+	n, k := cfg.assign.N(), cfg.assign.K()
+	if n < 2 {
+		return nil, fmt.Errorf("sim: need n >= 2 nodes, got %d", n)
+	}
+	maxRounds := cfg.maxRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds(n, k)
+	}
+
+	st := &engineState{n: n, k: k, know: cfg.ws.knowFor(n, k)}
+	mode.bind(st)
+	rootRng := rand.New(rand.NewSource(cfg.seed))
+	for v := 0; v < n; v++ {
+		initial := append([]token.ID(nil), cfg.assign.TokensOf(v)...)
+		for _, t := range initial {
+			st.know[v].Add(t)
+		}
+		if err := mode.newProto(NodeEnv{
+			ID:         v,
+			N:          n,
+			K:          k,
+			NumSources: cfg.assign.NumSources(),
+			Initial:    initial,
+			InfoOf:     cfg.assign.Info,
+			Rng:        rand.New(rand.NewSource(rootRng.Int63())),
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	var stability *graph.StabilityTracker
+	if cfg.checkStability > 0 {
+		stability = graph.NewStabilityTracker(cfg.checkStability)
+	}
+
+	prev := graph.New(n)
+	if st.complete() { // degenerate: k == 0 or everyone starts complete
+		return &Result{Completed: true, Rounds: 0, Metrics: st.metrics}, nil
+	}
+	for r := 1; r <= maxRounds; r++ {
+		if err := mode.commit(r); err != nil {
+			return nil, err
+		}
+		g := mode.wire(r, prev)
+		if g == nil || g.N() != n {
+			return nil, fmt.Errorf("sim: adversary %q returned invalid graph in round %d", mode.advName(), r)
+		}
+		if !g.Connected() {
+			return nil, fmt.Errorf("sim: adversary %q returned disconnected graph in round %d", mode.advName(), r)
+		}
+		if stability != nil {
+			stability.Observe(g)
+			if !stability.OK() {
+				v := stability.Violations()[0]
+				return nil, fmt.Errorf("sim: adversary %q violated %d-edge stability: edge %v inserted round %d, gone round %d",
+					mode.advName(), cfg.checkStability, v.E, v.InsertedAt, v.RemovedAt)
+			}
+		}
+		diff := graph.Compute(prev, g)
+		st.metrics.TC += int64(len(diff.Inserted))
+		st.metrics.Removals += int64(len(diff.Removed))
+
+		learned, err := mode.exchange(r, g)
+		if err != nil {
+			return nil, err
+		}
+		st.metrics.Rounds = r
+		mode.observe(r, g, learned)
+		prev = g
+		if st.complete() {
+			return &Result{Completed: true, Rounds: r, Metrics: st.metrics}, nil
+		}
+	}
+	return &Result{Completed: false, Rounds: maxRounds, Metrics: st.metrics}, nil
+}

@@ -2,7 +2,9 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Trial produces one independent execution result. Implementations must
@@ -10,46 +12,80 @@ import (
 // adversaries are stateful and must never be shared across trials).
 type Trial func() (*Result, error)
 
-// RunParallel executes independent trials on up to parallelism workers and
-// returns their results in input order. The first error wins (remaining
-// trials still drain); parallelism < 1 selects 1.
-//
-// The engines themselves are single-threaded; this helper only
-// parallelizes across executions, which is how the experiment sweeps use
-// multiple cores.
-func RunParallel(trials []Trial, parallelism int) ([]*Result, error) {
-	if parallelism < 1 {
-		parallelism = 1
+// ForEach is the shared worker-pool primitive under RunParallel and the
+// sweep layer: it runs a job for every index in [0, n) on up to `workers`
+// goroutines (<= 0 selects runtime.GOMAXPROCS(0)). Each goroutine calls
+// newWorker once and feeds every index it claims to the returned job
+// function, so workers can hold per-worker state (the sweep layer's
+// buffer Workspace) without synchronization. Indices are claimed in order;
+// after the first failure no new index is dispatched (in-flight jobs still
+// finish). ForEach returns the failing index and its error, or (-1, nil).
+func ForEach(n, workers int, newWorker func() func(i int) error) (int, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	if parallelism > len(trials) {
-		parallelism = len(trials)
+	if workers > n {
+		workers = n
 	}
-	results := make([]*Result, len(trials))
-	errs := make([]error, len(trials))
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < parallelism; w++ {
+	errs := make([]error, n)
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range work {
-				if trials[i] == nil {
-					errs[i] = fmt.Errorf("sim: nil trial %d", i)
-					continue
+			job := newWorker()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
 				}
-				results[i], errs[i] = trials[i]()
+				if err := job(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
 			}
 		}()
 	}
-	for i := range trials {
-		work <- i
-	}
-	close(work)
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("sim: trial %d: %w", i, err)
+			return i, err
 		}
+	}
+	return -1, nil
+}
+
+// RunParallel executes independent trials on up to parallelism workers and
+// returns their results in input order; parallelism <= 0 selects
+// runtime.GOMAXPROCS(0). The first error (by trial index) wins, and workers
+// stop picking up new trials as soon as any trial fails.
+//
+// This is the low-level escape hatch for trials the declarative sweep layer
+// cannot express (custom instrumented factories or adversaries); plain
+// algorithm×adversary grids should use the sweep package, which adds
+// registry resolution and per-worker buffer reuse on top of the same pool.
+//
+// The engines themselves are single-threaded; this helper only parallelizes
+// across executions.
+func RunParallel(trials []Trial, parallelism int) ([]*Result, error) {
+	results := make([]*Result, len(trials))
+	i, err := ForEach(len(trials), parallelism, func() func(i int) error {
+		return func(i int) error {
+			if trials[i] == nil {
+				return fmt.Errorf("nil trial")
+			}
+			var err error
+			results[i], err = trials[i]()
+			return err
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: trial %d: %w", i, err)
 	}
 	return results, nil
 }

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -76,9 +77,9 @@ func TestRunParallelNilTrial(t *testing.T) {
 	}
 }
 
-func TestRunParallelClampsParallelism(t *testing.T) {
+func TestRunParallelDefaultsToGOMAXPROCS(t *testing.T) {
 	var peak, cur int64
-	trials := make([]Trial, 6)
+	trials := make([]Trial, 2*runtime.GOMAXPROCS(0)+4)
 	for i := range trials {
 		trials[i] = func() (*Result, error) {
 			c := atomic.AddInt64(&cur, 1)
@@ -92,13 +93,29 @@ func TestRunParallelClampsParallelism(t *testing.T) {
 			return &Result{Completed: true}, nil
 		}
 	}
-	if _, err := RunParallel(trials, 0); err != nil { // clamped to 1
+	if _, err := RunParallel(trials, 0); err != nil { // defaults to GOMAXPROCS
 		t.Fatal(err)
 	}
-	if atomic.LoadInt64(&peak) != 1 {
-		t.Fatalf("peak concurrency %d with parallelism 1", peak)
+	if got, limit := atomic.LoadInt64(&peak), int64(runtime.GOMAXPROCS(0)); got < 1 || got > limit {
+		t.Fatalf("peak concurrency %d outside [1, GOMAXPROCS=%d]", got, limit)
 	}
 	if _, err := RunParallel(nil, 4); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunParallelStopsDispatchingAfterError(t *testing.T) {
+	var ran atomic.Int64
+	trials := []Trial{
+		func() (*Result, error) { return nil, fmt.Errorf("boom") },
+		func() (*Result, error) { ran.Add(1); return &Result{Completed: true}, nil },
+		func() (*Result, error) { ran.Add(1); return &Result{Completed: true}, nil },
+	}
+	// One worker: after trial 0 fails, trials 1 and 2 must never start.
+	if _, err := RunParallel(trials, 1); err == nil {
+		t.Fatal("expected error")
+	}
+	if n := ran.Load(); n != 0 {
+		t.Fatalf("%d trials dispatched after the first error", n)
 	}
 }

@@ -2,10 +2,8 @@ package sim
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 
-	"dynspread/internal/bitset"
 	"dynspread/internal/graph"
 	"dynspread/internal/token"
 )
@@ -26,197 +24,175 @@ type UnicastConfig struct {
 	CheckStability int
 	// OnRound, if non-nil, observes every round after delivery: the round
 	// number, that round's graph, the messages sent, and the number of
-	// token-learning events the round produced. For tracing.
+	// token-learning events the round produced. For tracing. The sent slice
+	// is only valid for the duration of the callback.
 	OnRound func(r int, g *graph.Graph, sent []Message, learned int64)
-}
-
-// DefaultMaxRounds returns a generous round cap for an (n, k) instance:
-// well above the paper's O(nk) bounds, so hitting it signals a liveness bug
-// or an unsatisfied stability assumption rather than normal slowness.
-func DefaultMaxRounds(n, k int) int {
-	r := 40*n*k + 40*n + 1000
-	if r < 1000 {
-		r = 1000
-	}
-	return r
+	// Workspace, if non-nil, supplies reusable buffers (see Workspace).
+	Workspace *Workspace
 }
 
 // RunUnicast executes the configured protocol against the adversary until
 // every node holds every token, MaxRounds elapses, or a model violation
-// occurs (which returns an error).
+// occurs (which returns an error). It is a thin wrapper plugging the unicast
+// mode into the shared round engine.
 func RunUnicast(cfg UnicastConfig) (*Result, error) {
-	if cfg.Assign == nil {
-		return nil, fmt.Errorf("sim: nil assignment")
-	}
-	if cfg.Factory == nil {
-		return nil, fmt.Errorf("sim: nil factory")
-	}
-	if cfg.Adversary == nil {
-		return nil, fmt.Errorf("sim: nil adversary")
-	}
-	n, k := cfg.Assign.N(), cfg.Assign.K()
-	if n < 2 {
-		return nil, fmt.Errorf("sim: need n >= 2 nodes, got %d", n)
-	}
-	maxRounds := cfg.MaxRounds
-	if maxRounds <= 0 {
-		maxRounds = DefaultMaxRounds(n, k)
-	}
+	return runEngine(engineConfig{
+		assign:         cfg.Assign,
+		maxRounds:      cfg.MaxRounds,
+		seed:           cfg.Seed,
+		checkStability: cfg.CheckStability,
+		ws:             cfg.Workspace,
+	}, &unicastMode{cfg: cfg})
+}
 
-	know := make([]*bitset.Set, n)
+// sendKey identifies one directed (sender, receiver) pair for the per-round
+// bandwidth check (at most one message per directed edge per round).
+type sendKey struct{ from, to graph.NodeID }
+
+// unicastMode is the unicast half of the engine: nodes learn their
+// round-start neighbors, send point-to-point messages (validated against the
+// graph, the bandwidth limit, and the token-forwarding rule), and receive
+// their inbox sorted by (To, From) for determinism.
+type unicastMode struct {
+	cfg    UnicastConfig
+	st     *engineState
+	view   View
+	protos []Protocol
+	inbox  [][]Message
+	// sendBuf is the scratch buffer for the current round's sends; lastSent
+	// keeps the previous round's sends alive for the adversary's view. The
+	// two ping-pong between rounds so steady-state rounds allocate nothing.
+	sendBuf  []Message
+	lastSent []Message
+}
+
+func (m *unicastMode) check() error {
+	if m.cfg.Factory == nil {
+		return fmt.Errorf("sim: nil factory")
+	}
+	if m.cfg.Adversary == nil {
+		return fmt.Errorf("sim: nil adversary")
+	}
+	return nil
+}
+
+func (m *unicastMode) bind(st *engineState) {
+	m.st = st
+	m.view = View{N: st.n, K: st.k, know: st.know}
+	m.protos = m.cfg.Workspace.protocolsFor(st.n)
+	m.inbox = m.cfg.Workspace.inboxFor(st.n)
+	m.sendBuf, m.lastSent = m.cfg.Workspace.sendBuffers()
+}
+
+func (m *unicastMode) newProto(env NodeEnv) error {
+	p := m.cfg.Factory(env)
+	if p == nil {
+		return fmt.Errorf("sim: factory returned nil protocol for node %d", env.ID)
+	}
+	m.protos[env.ID] = p
+	return nil
+}
+
+func (m *unicastMode) advName() string { return m.cfg.Adversary.Name() }
+
+func (m *unicastMode) commit(int) error { return nil }
+
+func (m *unicastMode) wire(r int, prev *graph.Graph) *graph.Graph {
+	m.view.Round = r
+	m.view.Prev = prev
+	if r == 1 {
+		m.view.LastSent = nil
+	} else {
+		m.view.LastSent = m.lastSent
+	}
+	return m.cfg.Adversary.NextGraph(&m.view)
+}
+
+func (m *unicastMode) exchange(r int, g *graph.Graph) (int64, error) {
+	n, k := m.st.n, m.st.k
+	know, metrics := m.st.know, &m.st.metrics
 	for v := 0; v < n; v++ {
-		know[v] = bitset.New(k)
+		m.protos[v].BeginRound(r, g.Neighbors(v))
 	}
-	protos := make([]Protocol, n)
-	rootRng := rand.New(rand.NewSource(cfg.Seed))
+
+	sent := m.sendBuf[:0]
+	used := m.cfg.Workspace.usedFor(2 * g.M())
 	for v := 0; v < n; v++ {
-		initial := append([]token.ID(nil), cfg.Assign.TokensOf(v)...)
-		for _, t := range initial {
-			know[v].Add(t)
-		}
-		protos[v] = cfg.Factory(NodeEnv{
-			ID:         v,
-			N:          n,
-			K:          k,
-			NumSources: cfg.Assign.NumSources(),
-			Initial:    initial,
-			InfoOf:     cfg.Assign.Info,
-			Rng:        rand.New(rand.NewSource(rootRng.Int63())),
-		})
-		if protos[v] == nil {
-			return nil, fmt.Errorf("sim: factory returned nil protocol for node %d", v)
+		for _, raw := range m.protos[v].Send(r) {
+			msg := raw
+			if err := msg.validate(v, n); err != nil {
+				return 0, err
+			}
+			if !g.HasEdge(msg.From, msg.To) {
+				return 0, fmt.Errorf("sim: round %d: node %d sent to non-neighbor %d", r, v, msg.To)
+			}
+			p := sendKey{msg.From, msg.To}
+			if used[p] {
+				return 0, fmt.Errorf("sim: round %d: node %d sent two messages to %d (bandwidth violation)", r, v, msg.To)
+			}
+			used[p] = true
+			if t := msg.carriedToken(); t != token.None {
+				if t < 0 || t >= k {
+					return 0, fmt.Errorf("sim: round %d: node %d sent invalid token %d", r, v, t)
+				}
+				if !know[v].Contains(t) {
+					return 0, fmt.Errorf("sim: round %d: node %d sent token %d it does not hold (token-forwarding violation)", r, v, t)
+				}
+			}
+			metrics.Messages++
+			if msg.Token != nil {
+				metrics.TokenPayloads++
+			}
+			if msg.Walk != nil {
+				metrics.WalkPayloads++
+			}
+			if msg.Request != nil {
+				metrics.RequestPayloads++
+			}
+			if msg.Completeness != nil {
+				metrics.CompletenessPayloads++
+			}
+			if msg.Control != nil {
+				metrics.ControlPayloads++
+			}
+			sent = append(sent, msg)
 		}
 	}
 
-	var (
-		metrics   Metrics
-		prev      = graph.New(n)
-		lastSent  []Message
-		stability *graph.StabilityTracker
-	)
-	if cfg.CheckStability > 0 {
-		stability = graph.NewStabilityTracker(cfg.CheckStability)
+	// Deliver: sort by (To, From) for determinism, update engine
+	// knowledge, then hand each node its inbox.
+	sort.Slice(sent, func(i, j int) bool {
+		if sent[i].To != sent[j].To {
+			return sent[i].To < sent[j].To
+		}
+		return sent[i].From < sent[j].From
+	})
+	for v := range m.inbox {
+		m.inbox[v] = m.inbox[v][:0]
 	}
-	view := &View{N: n, K: k, know: know}
-
-	complete := func() bool {
-		for v := 0; v < n; v++ {
-			if !know[v].Full() {
-				return false
-			}
+	var learned int64
+	for i := range sent {
+		msg := sent[i]
+		if t := msg.carriedToken(); t != token.None && !know[msg.To].Contains(t) {
+			know[msg.To].Add(t)
+			metrics.Learnings++
+			learned++
 		}
-		return true
+		m.inbox[msg.To] = append(m.inbox[msg.To], msg)
 	}
-	if complete() { // degenerate: k == 0 or everyone starts complete
-		return &Result{Completed: true, Rounds: 0, Metrics: metrics}, nil
+	for v := 0; v < n; v++ {
+		m.protos[v].Deliver(r, m.inbox[v])
 	}
 
-	inbox := make([][]Message, n)
-	for r := 1; r <= maxRounds; r++ {
-		view.Round = r
-		view.Prev = prev
-		view.LastSent = lastSent
-		g := cfg.Adversary.NextGraph(view)
-		if g == nil || g.N() != n {
-			return nil, fmt.Errorf("sim: adversary %q returned invalid graph in round %d", cfg.Adversary.Name(), r)
-		}
-		if !g.Connected() {
-			return nil, fmt.Errorf("sim: adversary %q returned disconnected graph in round %d", cfg.Adversary.Name(), r)
-		}
-		if stability != nil {
-			stability.Observe(g)
-			if !stability.OK() {
-				v := stability.Violations()[0]
-				return nil, fmt.Errorf("sim: adversary %q violated %d-edge stability: edge %v inserted round %d, gone round %d",
-					cfg.Adversary.Name(), cfg.CheckStability, v.E, v.InsertedAt, v.RemovedAt)
-			}
-		}
-		diff := graph.Compute(prev, g)
-		metrics.TC += int64(len(diff.Inserted))
-		metrics.Removals += int64(len(diff.Removed))
+	// Ping-pong: this round's sends become LastSent; the buffer holding the
+	// round-before-last's sends (no longer referenced) is the next scratch.
+	m.sendBuf, m.lastSent = m.lastSent[:0], sent
+	m.cfg.Workspace.storeSendBuffers(m.sendBuf, m.lastSent)
+	return learned, nil
+}
 
-		for v := 0; v < n; v++ {
-			protos[v].BeginRound(r, g.Neighbors(v))
-		}
-
-		sent := make([]Message, 0, 2*g.M())
-		type pair struct{ from, to graph.NodeID }
-		used := make(map[pair]bool, 2*g.M())
-		for v := 0; v < n; v++ {
-			for _, raw := range protos[v].Send(r) {
-				m := raw
-				if err := m.validate(v, n); err != nil {
-					return nil, err
-				}
-				if !g.HasEdge(m.From, m.To) {
-					return nil, fmt.Errorf("sim: round %d: node %d sent to non-neighbor %d", r, v, m.To)
-				}
-				p := pair{m.From, m.To}
-				if used[p] {
-					return nil, fmt.Errorf("sim: round %d: node %d sent two messages to %d (bandwidth violation)", r, v, m.To)
-				}
-				used[p] = true
-				if t := m.carriedToken(); t != token.None {
-					if t < 0 || t >= k {
-						return nil, fmt.Errorf("sim: round %d: node %d sent invalid token %d", r, v, t)
-					}
-					if !know[v].Contains(t) {
-						return nil, fmt.Errorf("sim: round %d: node %d sent token %d it does not hold (token-forwarding violation)", r, v, t)
-					}
-				}
-				metrics.Messages++
-				if m.Token != nil {
-					metrics.TokenPayloads++
-				}
-				if m.Walk != nil {
-					metrics.WalkPayloads++
-				}
-				if m.Request != nil {
-					metrics.RequestPayloads++
-				}
-				if m.Completeness != nil {
-					metrics.CompletenessPayloads++
-				}
-				if m.Control != nil {
-					metrics.ControlPayloads++
-				}
-				sent = append(sent, m)
-			}
-		}
-
-		// Deliver: sort by (To, From) for determinism, update engine
-		// knowledge, then hand each node its inbox.
-		sort.Slice(sent, func(i, j int) bool {
-			if sent[i].To != sent[j].To {
-				return sent[i].To < sent[j].To
-			}
-			return sent[i].From < sent[j].From
-		})
-		for v := range inbox {
-			inbox[v] = inbox[v][:0]
-		}
-		var learned int64
-		for i := range sent {
-			m := sent[i]
-			if t := m.carriedToken(); t != token.None && !know[m.To].Contains(t) {
-				know[m.To].Add(t)
-				metrics.Learnings++
-				learned++
-			}
-			inbox[m.To] = append(inbox[m.To], m)
-		}
-		for v := 0; v < n; v++ {
-			protos[v].Deliver(r, inbox[v])
-		}
-		metrics.Rounds = r
-		if cfg.OnRound != nil {
-			cfg.OnRound(r, g, sent, learned)
-		}
-		prev = g
-		lastSent = sent
-		if complete() {
-			return &Result{Completed: true, Rounds: r, Metrics: metrics}, nil
-		}
+func (m *unicastMode) observe(r int, g *graph.Graph, learned int64) {
+	if m.cfg.OnRound != nil {
+		m.cfg.OnRound(r, g, m.lastSent, learned)
 	}
-	return &Result{Completed: false, Rounds: maxRounds, Metrics: metrics}, nil
 }

@@ -1,0 +1,164 @@
+package sim
+
+import "dynspread/internal/bitset"
+
+// Workspace holds reusable per-execution buffers — knowledge bitsets,
+// protocol slices, inboxes, and message buffers. A Workspace is NOT safe for
+// concurrent use: give each worker goroutine its own (the sweep layer does
+// this) and reuse it across that worker's sequential trials to cut per-trial
+// allocations. A nil *Workspace is valid everywhere one is accepted and means
+// "allocate privately".
+//
+// Reuse never changes results: buffers are handed out cleared, and the
+// engine's semantics (delivery order, RNG draws, accounting) do not depend on
+// buffer capacity.
+type Workspace struct {
+	know     []*bitset.Set
+	protosU  []Protocol
+	protosB  []BroadcastProtocol
+	inbox    [][]Message
+	heard    [][]BroadcastHear
+	sendA    []Message
+	sendB    []Message
+	used     map[sendKey]bool
+	usedHint int
+	choices  []int // token.ID values; int keeps the import surface small
+}
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// knowFor returns n cleared bitsets of capacity k, reusing the cached ones
+// when the shape matches.
+func (w *Workspace) knowFor(n, k int) []*bitset.Set {
+	if w == nil || len(w.know) != n || (n > 0 && w.know[0].Len() != k) {
+		know := make([]*bitset.Set, n)
+		for v := range know {
+			know[v] = bitset.New(k)
+		}
+		if w != nil {
+			w.know = know
+		}
+		return know
+	}
+	for _, s := range w.know {
+		s.Clear()
+	}
+	return w.know
+}
+
+// protocolsFor returns a length-n nil-filled unicast protocol slice.
+func (w *Workspace) protocolsFor(n int) []Protocol {
+	if w == nil || cap(w.protosU) < n {
+		p := make([]Protocol, n)
+		if w != nil {
+			w.protosU = p
+		}
+		return p
+	}
+	w.protosU = w.protosU[:n]
+	for i := range w.protosU {
+		w.protosU[i] = nil
+	}
+	return w.protosU
+}
+
+// broadcastProtocolsFor returns a length-n nil-filled broadcast protocol
+// slice.
+func (w *Workspace) broadcastProtocolsFor(n int) []BroadcastProtocol {
+	if w == nil || cap(w.protosB) < n {
+		p := make([]BroadcastProtocol, n)
+		if w != nil {
+			w.protosB = p
+		}
+		return p
+	}
+	w.protosB = w.protosB[:n]
+	for i := range w.protosB {
+		w.protosB[i] = nil
+	}
+	return w.protosB
+}
+
+// inboxFor returns a length-n inbox slice with emptied per-node buckets.
+func (w *Workspace) inboxFor(n int) [][]Message {
+	if w == nil || cap(w.inbox) < n {
+		in := make([][]Message, n)
+		if w != nil {
+			w.inbox = in
+		}
+		return in
+	}
+	w.inbox = w.inbox[:n]
+	for i := range w.inbox {
+		w.inbox[i] = w.inbox[i][:0]
+	}
+	return w.inbox
+}
+
+// heardFor returns a length-n heard slice with emptied per-node buckets.
+func (w *Workspace) heardFor(n int) [][]BroadcastHear {
+	if w == nil || cap(w.heard) < n {
+		h := make([][]BroadcastHear, n)
+		if w != nil {
+			w.heard = h
+		}
+		return h
+	}
+	w.heard = w.heard[:n]
+	for i := range w.heard {
+		w.heard[i] = w.heard[i][:0]
+	}
+	return w.heard
+}
+
+// sendBuffers returns the two message buffers the unicast mode ping-pongs
+// between rounds (current sends vs. the previous round's sends kept alive
+// for the adversary's LastSent view), both emptied.
+func (w *Workspace) sendBuffers() (a, b []Message) {
+	if w == nil {
+		return nil, nil
+	}
+	return w.sendA[:0], w.sendB[:0]
+}
+
+// storeSendBuffers saves the (possibly regrown) buffers back for reuse.
+func (w *Workspace) storeSendBuffers(a, b []Message) {
+	if w == nil {
+		return
+	}
+	w.sendA, w.sendB = a, b
+}
+
+// usedFor returns an empty bandwidth-tracking set. Go maps never shrink, so
+// if the cached map was sized for a much larger instance it is dropped
+// rather than letting one big trial make clear() expensive for every later
+// small trial on this worker.
+func (w *Workspace) usedFor(capacity int) map[sendKey]bool {
+	if w == nil {
+		return make(map[sendKey]bool, capacity)
+	}
+	if w.used == nil || w.usedHint > 8*(capacity+1) {
+		w.used = make(map[sendKey]bool, capacity)
+		w.usedHint = capacity
+		return w.used
+	}
+	if capacity > w.usedHint {
+		w.usedHint = capacity
+	}
+	clear(w.used)
+	return w.used
+}
+
+// choicesFor returns a length-n scratch slice for broadcast choices.
+func (w *Workspace) choicesFor(n int) []int {
+	if w == nil || cap(w.choices) < n {
+		c := make([]int, n)
+		if w != nil {
+			w.choices = c
+		}
+		return c
+	}
+	w.choices = w.choices[:n]
+	return w.choices
+}

@@ -1,0 +1,263 @@
+// Package sweep is the high-throughput trial-execution layer on top of the
+// unified round engine: declarative trial grids (N×K×algorithm×adversary×
+// seeds), a worker pool sized to GOMAXPROCS, and per-worker reuse of the
+// engine's graph/bitset/message buffers so sweeping thousands of trials
+// allocates far less than calling the engine cold per trial. Algorithms and
+// adversaries are resolved by name through internal/registry, so anything
+// registered anywhere in the program is sweepable.
+package sweep
+
+import (
+	"fmt"
+
+	"dynspread/internal/registry"
+	"dynspread/internal/sim"
+	"dynspread/internal/stats"
+	"dynspread/internal/token"
+)
+
+// Trial is one fully specified execution.
+type Trial struct {
+	// N and K are the node and token counts; Sources defaults to 1.
+	N, K, Sources int
+	// Algorithm and Adversary are registry names.
+	Algorithm, Adversary string
+	// Seed derives all randomness of the trial.
+	Seed int64
+	// MaxRounds caps the execution (0 = sim.DefaultMaxRounds).
+	MaxRounds int
+	// Sigma is the churn stability parameter (0 = default 3).
+	Sigma int
+	// CheckStability, when > 0, makes unicast executions verify the
+	// adversary is σ-edge-stable (see sim.UnicastConfig).
+	CheckStability int
+	// Options and AdvOptions carry algorithm- and adversary-specific
+	// options (see registry.Params).
+	Options    any
+	AdvOptions any
+}
+
+func (t Trial) String() string {
+	return fmt.Sprintf("%s×%s n=%d k=%d s=%d seed=%d", t.Algorithm, t.Adversary, t.N, t.K, t.Sources, t.Seed)
+}
+
+// Grid declares a cross product of trials. Zero-length dimensions default
+// to a single zero/first value where that is meaningful (Sources → 1,
+// Seeds → {0}). Ns, Ks, Algorithms, and Adversaries are required: Trials
+// expands an incomplete grid to nothing, and RunGrid rejects it.
+type Grid struct {
+	Ns, Ks      []int
+	Sources     []int
+	Algorithms  []string
+	Adversaries []string
+	Seeds       []int64
+	// MaxRounds, Sigma, CheckStability, Options, and AdvOptions apply to
+	// every trial of the grid.
+	MaxRounds      int
+	Sigma          int
+	CheckStability int
+	Options        any
+	AdvOptions     any
+}
+
+// Trials expands the grid in deterministic order: n, k, sources, algorithm,
+// adversary, seed — seeds innermost so replicates of one cell are adjacent.
+func (g Grid) Trials() []Trial {
+	sources := g.Sources
+	if len(sources) == 0 {
+		sources = []int{1}
+	}
+	seeds := g.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{0}
+	}
+	var out []Trial
+	for _, n := range g.Ns {
+		for _, k := range g.Ks {
+			for _, s := range sources {
+				for _, alg := range g.Algorithms {
+					for _, adv := range g.Adversaries {
+						for _, seed := range seeds {
+							out = append(out, Trial{
+								N: n, K: k, Sources: s,
+								Algorithm: alg, Adversary: adv,
+								Seed:           seed,
+								MaxRounds:      g.MaxRounds,
+								Sigma:          g.Sigma,
+								CheckStability: g.CheckStability,
+								Options:        g.Options,
+								AdvOptions:     g.AdvOptions,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Result pairs a trial with its engine outcome.
+type Result struct {
+	Trial Trial
+	// AdversaryName is the concrete adversary's self-reported name.
+	AdversaryName string
+	Res           *sim.Result
+}
+
+// RunTrial resolves and executes one trial. ws, when non-nil, supplies
+// reusable engine buffers (single-goroutine use only). It returns the
+// engine result and the adversary's self-reported name. This is the one
+// place in the codebase that turns (algorithm, adversary) names into an
+// engine execution; the dynspread facade and the worker pool both call it.
+func RunTrial(t Trial, ws *sim.Workspace) (*sim.Result, string, error) {
+	s := t.Sources
+	if s <= 0 {
+		s = 1
+	}
+	assign, err := token.Balanced(t.N, t.K, s)
+	if err != nil {
+		return nil, "", err
+	}
+	alg, err := registry.LookupAlgorithm(t.Algorithm)
+	if err != nil {
+		return nil, "", err
+	}
+	adv, err := registry.LookupAdversary(t.Adversary)
+	if err != nil {
+		return nil, "", err
+	}
+	if !adv.Modes.Has(alg.Mode) {
+		return nil, "", fmt.Errorf("adversary %q serves %v executions, not %v algorithms like %q",
+			t.Adversary, adv.Modes, alg.Mode, t.Algorithm)
+	}
+	p := registry.Params{
+		N: t.N, K: t.K, Sources: s,
+		Seed:       t.Seed,
+		Sigma:      t.Sigma,
+		Options:    t.Options,
+		AdvOptions: t.AdvOptions,
+	}
+	switch alg.Mode {
+	case registry.Unicast:
+		factory, err := alg.Unicast(p)
+		if err != nil {
+			return nil, "", fmt.Errorf("algorithm %q: %w", t.Algorithm, err)
+		}
+		a, err := adv.Unicast(p)
+		if err != nil {
+			return nil, "", fmt.Errorf("adversary %q: %w", t.Adversary, err)
+		}
+		res, err := sim.RunUnicast(sim.UnicastConfig{
+			Assign:         assign,
+			Factory:        factory,
+			Adversary:      a,
+			MaxRounds:      t.MaxRounds,
+			Seed:           t.Seed,
+			CheckStability: t.CheckStability,
+			Workspace:      ws,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		return res, a.Name(), nil
+	case registry.Broadcast:
+		factory, err := alg.Broadcast(p)
+		if err != nil {
+			return nil, "", fmt.Errorf("algorithm %q: %w", t.Algorithm, err)
+		}
+		a, err := adv.Broadcast(p)
+		if err != nil {
+			return nil, "", fmt.Errorf("adversary %q: %w", t.Adversary, err)
+		}
+		res, err := sim.RunBroadcast(sim.BroadcastConfig{
+			Assign:    assign,
+			Factory:   factory,
+			Adversary: a,
+			MaxRounds: t.MaxRounds,
+			Seed:      t.Seed,
+			Workspace: ws,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		return res, a.Name(), nil
+	default:
+		return nil, "", fmt.Errorf("algorithm %q has unsupported mode %v", t.Algorithm, alg.Mode)
+	}
+}
+
+// Options configures Run.
+type Options struct {
+	// Parallelism is the worker count; <= 0 selects runtime.GOMAXPROCS(0).
+	Parallelism int
+}
+
+// Run executes the trials on a worker pool (sim.ForEach) and returns
+// results in input order. Each worker owns one sim.Workspace reused across
+// its sequential trials, cutting per-trial allocations. The first error
+// wins: workers stop picking up new trials as soon as any trial fails
+// (in-flight trials still finish), and Run reports that first-by-index
+// error.
+func Run(trials []Trial, opts Options) ([]Result, error) {
+	if len(trials) == 0 {
+		return nil, nil
+	}
+	results := make([]Result, len(trials))
+	i, err := sim.ForEach(len(trials), opts.Parallelism, func() func(i int) error {
+		ws := sim.NewWorkspace()
+		return func(i int) error {
+			res, name, err := RunTrial(trials[i], ws)
+			if err != nil {
+				return err
+			}
+			results[i] = Result{Trial: trials[i], AdversaryName: name, Res: res}
+			return nil
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sweep: trial %d (%s): %w", i, trials[i], err)
+	}
+	return results, nil
+}
+
+// RunGrid expands and runs a grid in one call. A grid missing a required
+// dimension is an error rather than a silent zero-trial success.
+func RunGrid(g Grid, opts Options) ([]Result, error) {
+	for _, dim := range []struct {
+		name  string
+		empty bool
+	}{
+		{"Ns", len(g.Ns) == 0},
+		{"Ks", len(g.Ks) == 0},
+		{"Algorithms", len(g.Algorithms) == 0},
+		{"Adversaries", len(g.Adversaries) == 0},
+	} {
+		if dim.empty {
+			return nil, fmt.Errorf("sweep: grid dimension %s is empty", dim.name)
+		}
+	}
+	return Run(g.Trials(), opts)
+}
+
+// Aggregate summarizes one metric over a set of results, keyed by a
+// caller-chosen extractor — e.g. messages per trial, rounds per trial.
+func Aggregate(results []Result, metric func(Result) float64) stats.Summary {
+	xs := make([]float64, 0, len(results))
+	for _, r := range results {
+		xs = append(xs, metric(r))
+	}
+	return stats.Summarize(xs)
+}
+
+// Common metric extractors for Aggregate.
+var (
+	// Messages extracts the trial's total message count.
+	Messages = func(r Result) float64 { return float64(r.Res.Metrics.Messages) }
+	// Rounds extracts the trial's round count.
+	Rounds = func(r Result) float64 { return float64(r.Res.Rounds) }
+	// TC extracts the adversary's topological-change count.
+	TC = func(r Result) float64 { return float64(r.Res.Metrics.TC) }
+	// AmortizedPerToken extracts Messages/K.
+	AmortizedPerToken = func(r Result) float64 { return r.Res.Metrics.AmortizedPerToken(r.Trial.K) }
+)

@@ -1,0 +1,142 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	// Trials resolve through the registry, so the bundled components must
+	// be registered.
+	_ "dynspread/internal/adversary"
+	_ "dynspread/internal/core"
+)
+
+func TestGridTrialsExpansionOrder(t *testing.T) {
+	g := Grid{
+		Ns:          []int{8, 16},
+		Ks:          []int{4},
+		Algorithms:  []string{"single-source", "topkis"},
+		Adversaries: []string{"static"},
+		Seeds:       []int64{1, 2},
+	}
+	trials := g.Trials()
+	if len(trials) != 8 {
+		t.Fatalf("got %d trials, want 8", len(trials))
+	}
+	// n-major, seeds innermost.
+	if trials[0].N != 8 || trials[len(trials)-1].N != 16 {
+		t.Fatalf("n order wrong: %+v", trials)
+	}
+	if trials[0].Seed != 1 || trials[1].Seed != 2 {
+		t.Fatalf("seeds not innermost: %+v %+v", trials[0], trials[1])
+	}
+	if trials[0].Sources != 1 {
+		t.Fatalf("default sources = %d, want 1", trials[0].Sources)
+	}
+	if trials[0].Algorithm != "single-source" || trials[2].Algorithm != "topkis" {
+		t.Fatalf("algorithm order wrong: %+v %+v", trials[0], trials[2])
+	}
+}
+
+func TestRunMatchesSerialAndIsDeterministic(t *testing.T) {
+	g := Grid{
+		Ns:          []int{10},
+		Ks:          []int{8},
+		Algorithms:  []string{"single-source", "topkis"},
+		Adversaries: []string{"static", "churn"},
+		Seeds:       []int64{1, 2, 3},
+	}
+	serial, err := Run(g.Trials(), Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(g.Trials(), Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) || len(serial) != len(g.Trials()) {
+		t.Fatalf("length mismatch: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if !serial[i].Res.Completed {
+			t.Fatalf("trial %d (%s) incomplete", i, serial[i].Trial)
+		}
+		if serial[i].Res.Metrics != parallel[i].Res.Metrics {
+			t.Fatalf("trial %d (%s): parallel diverged from serial:\n%+v\n%+v",
+				i, serial[i].Trial, serial[i].Res.Metrics, parallel[i].Res.Metrics)
+		}
+	}
+}
+
+// Workspace reuse across a worker's sequential trials must not leak state
+// between trials: the same trial repeated with different neighbors in the
+// work list must give identical results.
+func TestRunWorkspaceReuseIsStateless(t *testing.T) {
+	probe := Trial{N: 10, K: 10, Algorithm: "single-source", Adversary: "churn", Seed: 5}
+	alone, err := Run([]Trial{probe}, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same probe after trials of different shapes (bigger n, broadcast mode)
+	// on ONE worker, so all share a workspace.
+	mixed, err := Run([]Trial{
+		{N: 16, K: 4, Algorithm: "topkis", Adversary: "static", Seed: 1},
+		{N: 6, K: 6, Sources: 6, Algorithm: "flooding", Adversary: "static", Seed: 2},
+		probe,
+	}, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alone[0].Res.Metrics != mixed[2].Res.Metrics {
+		t.Fatalf("workspace reuse changed results:\n%+v\n%+v", alone[0].Res.Metrics, mixed[2].Res.Metrics)
+	}
+}
+
+func TestRunStopsDispatchingAfterError(t *testing.T) {
+	// Trial 1 fails (unknown algorithm). With one worker, everything after
+	// it must never run.
+	trials := []Trial{
+		{N: 8, K: 4, Algorithm: "single-source", Adversary: "static", Seed: 1},
+		{N: 8, K: 4, Algorithm: "no-such-algorithm", Adversary: "static", Seed: 1},
+		{N: 8, K: 4, Algorithm: "single-source", Adversary: "static", Seed: 2},
+	}
+	_, err := Run(trials, Options{Parallelism: 1})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "trial 1") || !strings.Contains(err.Error(), "no-such-algorithm") {
+		t.Fatalf("error does not identify the failing trial: %v", err)
+	}
+}
+
+func TestRunTrialModeMismatch(t *testing.T) {
+	if _, _, err := RunTrial(Trial{N: 8, K: 4, Algorithm: "flooding", Adversary: "request-cutter"}, nil); err == nil {
+		t.Fatal("broadcast algorithm × unicast-only adversary must fail")
+	}
+	if _, _, err := RunTrial(Trial{N: 8, K: 4, Algorithm: "single-source", Adversary: "free-edge"}, nil); err == nil {
+		t.Fatal("unicast algorithm × broadcast-only adversary must fail")
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	res, err := Run(nil, Options{})
+	if err != nil || res != nil {
+		t.Fatalf("empty run: %v %v", res, err)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	results, err := Run([]Trial{
+		{N: 10, K: 8, Algorithm: "single-source", Adversary: "static", Seed: 1},
+		{N: 10, K: 8, Algorithm: "single-source", Adversary: "static", Seed: 2},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Aggregate(results, Messages)
+	if s.N != 2 || s.Mean <= 0 || s.Min > s.Max {
+		t.Fatalf("bad summary %+v", s)
+	}
+	if r := Aggregate(results, Rounds); r.Mean <= 0 {
+		t.Fatalf("bad rounds summary %+v", r)
+	}
+}
