@@ -9,6 +9,7 @@ package dynspread_test
 // One experiment:  go test -bench=BenchmarkE6 -benchmem
 
 import (
+	"context"
 	"testing"
 
 	"dynspread"
@@ -159,7 +160,7 @@ func benchSweep(b *testing.B, parallelism int) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		results, err := sweep.Run(trials, sweep.Options{Parallelism: parallelism})
+		results, err := sweep.Run(context.Background(), trials, sweep.Options{Parallelism: parallelism})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -184,7 +185,7 @@ func BenchmarkSweep64NoWorkspace(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, tr := range trials {
-			if _, _, err := sweep.RunTrial(tr, nil); err != nil {
+			if _, err := sweep.RunTrial(tr, nil); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -4,10 +4,16 @@
 // Usage:
 //
 //	spreadsim -n 64 -k 128 -s 1 -alg single-source -adv churn -seed 1
-//	spreadsim -list          # print every registered algorithm and adversary
+//	spreadsim -scenario token-stream -seed 3       # registered workload
+//	spreadsim -scenario quickstart -record run.jsonl
+//	spreadsim -replay run.jsonl -alg single-source # replay recorded dynamics
+//	spreadsim -list   # print every registered algorithm, adversary, scenario
 //
-// Algorithms and adversaries are resolved through the component registry;
-// -list shows everything the binary was built with.
+// Algorithms, adversaries, and scenarios are resolved through their
+// registries; -list shows everything the binary was built with. -record
+// writes the run's per-round edge events as JSONL; -replay substitutes such
+// a trace for the adversary, reproducing the recorded topology exactly (and,
+// with the same algorithm and seed, the recorded metrics).
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 
 	"dynspread"
 	"dynspread/internal/registry"
+	"dynspread/internal/scenario"
 )
 
 func main() {
@@ -27,13 +34,18 @@ func main() {
 		s         = flag.Int("s", 1, "number of source nodes")
 		alg       = flag.String("alg", "single-source", "algorithm (see -list)")
 		adv       = flag.String("adv", "churn", "adversary (see -list)")
+		scen      = flag.String("scenario", "", "registered scenario; supplies shape, dynamics, and arrival schedule (see -list)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		maxRounds = flag.Int("max-rounds", 0, "round cap (0 = generous default)")
 		sigma     = flag.Int("sigma", 3, "edge stability for the churn adversary")
+		record    = flag.String("record", "", "write the run's dynamics as a JSONL graph trace to this file")
+		replay    = flag.String("replay", "", "replay a JSONL graph trace as the dynamics (overrides -adv)")
 		asJSON    = flag.Bool("json", false, "emit the report as JSON")
-		list      = flag.Bool("list", false, "list registered algorithms and adversaries, then exit")
+		list      = flag.Bool("list", false, "list registered algorithms, adversaries, and scenarios, then exit")
 	)
 	flag.Parse()
+	flagSet := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { flagSet[f.Name] = true })
 
 	if *list {
 		fmt.Println("algorithms:")
@@ -44,34 +56,95 @@ func main() {
 		for _, spec := range registry.Adversaries() {
 			fmt.Printf("  %-18s (%s)  %s\n", spec.Name, spec.Modes, spec.Doc)
 		}
+		fmt.Println("scenarios:")
+		for _, spec := range scenario.Scenarios() {
+			fmt.Printf("  %-18s n=%-5d k=%-5d s=%-4d %-14s arrivals=%-34s alg=%s\n",
+				spec.Name, spec.N, spec.K, spec.NumSources(), spec.DynamicsName(), spec.ScheduleName(), spec.DefaultAlgorithm)
+			fmt.Printf("  %-18s %s\n", "", spec.Doc)
+		}
 		return
 	}
 
-	rep, err := dynspread.Run(dynspread.Config{
-		N: *n, K: *k, Sources: *s,
-		Algorithm: dynspread.Algorithm(*alg),
-		Adversary: dynspread.Adversary(*adv),
+	cfg := dynspread.Config{
 		Seed:      *seed,
 		MaxRounds: *maxRounds,
 		Sigma:     *sigma,
-	})
+	}
+	if *scen != "" {
+		// The scenario defines the shape and the defaults; -alg, -adv, and
+		// -sigma act as overrides only when given explicitly.
+		cfg.Scenario = dynspread.Scenario(*scen)
+		if !flagSet["sigma"] {
+			cfg.Sigma = 0 // let the scenario's own Sigma apply
+		}
+		if flagSet["alg"] {
+			cfg.Algorithm = dynspread.Algorithm(*alg)
+		}
+		if flagSet["adv"] {
+			cfg.Adversary = dynspread.Adversary(*adv)
+		}
+		for _, name := range []string{"n", "k", "s"} {
+			if flagSet[name] {
+				fatalf("-%s cannot be combined with -scenario (the scenario defines the shape)", name)
+			}
+		}
+	} else {
+		cfg.N, cfg.K, cfg.Sources = *n, *k, *s
+		cfg.Algorithm = dynspread.Algorithm(*alg)
+		cfg.Adversary = dynspread.Adversary(*adv)
+	}
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		tr, err := dynspread.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cfg.Replay = tr
+	}
+
+	var (
+		rep *dynspread.Report
+		err error
+	)
+	if *record != "" {
+		var tr *dynspread.GraphTrace
+		rep, tr, err = dynspread.RunRecorded(cfg)
+		if err == nil {
+			err = writeTrace(*record, tr)
+		}
+	} else {
+		rep, err = dynspread.Run(cfg)
+	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "spreadsim:", err)
-		os.Exit(1)
+		fatalf("%v", err)
 	}
 
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
-			fmt.Fprintln(os.Stderr, "spreadsim:", err)
-			os.Exit(1)
+			fatalf("%v", err)
 		}
 		return
 	}
-	fmt.Printf("algorithm      %s\n", *alg)
+	if *scen != "" {
+		fmt.Printf("scenario       %s\n", *scen)
+	}
+	algName := *alg
+	if *scen != "" && !flagSet["alg"] {
+		algName = "(scenario default)"
+	}
+	fmt.Printf("algorithm      %s\n", algName)
 	fmt.Printf("adversary      %s\n", rep.AdversaryName)
-	fmt.Printf("instance       n=%d k=%d s=%d seed=%d\n", *n, *k, *s, *seed)
+	if *scen == "" {
+		fmt.Printf("instance       n=%d k=%d s=%d seed=%d\n", *n, *k, *s, *seed)
+	} else {
+		fmt.Printf("instance       seed=%d\n", *seed)
+	}
 	fmt.Printf("completed      %v in %d rounds\n", rep.Completed, rep.Rounds)
 	m := rep.Metrics
 	fmt.Printf("messages       %d (tokens %d, requests %d, completeness %d, walks %d, control %d)\n",
@@ -81,4 +154,24 @@ func main() {
 	fmt.Printf("TC(E)          %d insertions, %d removals\n", m.TC, m.Removals)
 	fmt.Printf("amortized      %.2f messages/token\n", rep.Amortized)
 	fmt.Printf("competitive    %.0f residual (Messages − 1·TC)\n", rep.CompetitiveResidual)
+	if *record != "" {
+		fmt.Printf("recorded       %d rounds of dynamics -> %s\n", rep.Rounds, *record)
+	}
+}
+
+func writeTrace(path string, tr *dynspread.GraphTrace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "spreadsim: "+format+"\n", args...)
+	os.Exit(1)
 }

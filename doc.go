@@ -20,8 +20,16 @@
 //     adversaries (oblivious sequences plus the strongly adaptive
 //     request-cutter and Section 2 free-edge lower-bound adversary), all
 //     self-registering,
-//   - internal/sweep — declarative trial grids executed on a worker pool
-//     sized to GOMAXPROCS with per-worker buffer reuse, and
+//   - internal/scenario — the workload registry: named scenarios bundling
+//     an instance shape, dynamics (an adversary, or a recorded graph trace
+//     replayed verbatim), and a token arrival schedule (burst, uniform
+//     rate, Poisson-like, or explicit — streaming the engine's token supply
+//     over time instead of starting with everything at round 0),
+//   - internal/trace — per-round series recording plus JSONL graph-event
+//     traces (record any run's dynamics, replay them bit-exactly),
+//   - internal/sweep — declarative trial grids (including a scenarios axis)
+//     executed on a context-cancellable worker pool sized to GOMAXPROCS
+//     with per-worker buffer reuse, and
 //   - internal/experiments — the harness that regenerates every table and
 //     figure (see EXPERIMENTS.md).
 //
@@ -36,8 +44,18 @@
 //	if err != nil { ... }
 //	fmt.Println(report.Metrics.Messages, report.Metrics.TC, report.Rounds)
 //
-// Algorithm and Adversary values are registry names, so algorithms
-// registered by other packages are selectable here too. For thousands of
+// Or select a registered workload wholesale — the scenario supplies the
+// shape, dynamics, and arrival schedule:
+//
+//	report, err := dynspread.Run(dynspread.Config{
+//		Scenario: dynspread.ScenTokenStream, // tokens arrive 2/round mid-run
+//		Seed:     1,
+//	})
+//
+// Scenario, Algorithm, and Adversary values are registry names, so
+// components registered by other packages are selectable here too. Record
+// any run's dynamics with RunRecorded and replay the returned GraphTrace
+// through Config.Replay for bit-exact reproduction. For thousands of
 // trials, use internal/sweep's grids instead of calling Run in a loop.
 //
 // See the examples/ directory for runnable scenarios and cmd/ for the CLI

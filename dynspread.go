@@ -2,13 +2,17 @@ package dynspread
 
 import (
 	"fmt"
+	"io"
 
 	// Register the bundled adversaries; core (imported for ObliviousOpts)
-	// registers the bundled algorithms the same way.
+	// registers the bundled algorithms the same way. The sweep layer pulls
+	// in internal/scenario, which registers the bundled scenarios.
 	_ "dynspread/internal/adversary"
 	"dynspread/internal/core"
+	"dynspread/internal/graph"
 	"dynspread/internal/sim"
 	"dynspread/internal/sweep"
+	"dynspread/internal/trace"
 )
 
 // Metrics re-exports the engine's communication-cost measures (messages per
@@ -46,6 +50,45 @@ const (
 // Adversary selects the dynamic-network adversary, again by registry name.
 type Adversary string
 
+// Scenario selects a registered workload by name: the scenario supplies the
+// instance shape, the dynamics, and the token arrival schedule, so a Config
+// with a Scenario needs nothing beyond a seed (and, optionally, an
+// Algorithm overriding the scenario's default).
+type Scenario string
+
+// Scenarios bundled with the simulator (the former examples, plus streaming
+// workloads); see internal/scenario for their definitions.
+const (
+	// ScenQuickstart is the README quickstart: one source, σ=3 churn.
+	ScenQuickstart Scenario = "quickstart"
+	// ScenSensornet is wireless n-gossip against the free-edge adversary.
+	ScenSensornet Scenario = "sensornet"
+	// ScenP2PChurn is n-gossip on a churning P2P overlay (k = s = n).
+	ScenP2PChurn Scenario = "p2pchurn"
+	// ScenMobileMesh is one source's tokens over a unit-disk mobility trace.
+	ScenMobileMesh Scenario = "mobilemesh"
+	// ScenStreaming is one source streaming k ≫ n tokens against the
+	// strongly adaptive request cutter.
+	ScenStreaming Scenario = "streaming"
+	// ScenWalkCenters is n-gossip on oblivious near-regular dynamics.
+	ScenWalkCenters Scenario = "walkcenters"
+	// ScenTokenStream feeds 2 tokens/round into one source under churn
+	// (a streaming arrival schedule).
+	ScenTokenStream Scenario = "token-stream"
+	// ScenBurstyGossip feeds Poisson-like arrivals into 4 sources over
+	// edge-Markovian fading links.
+	ScenBurstyGossip Scenario = "bursty-gossip"
+)
+
+// GraphTrace is a recorded per-round edge-event stream: the dynamics of one
+// execution, serialized as JSONL (see internal/trace). Record one with
+// RunRecorded, persist it with its Write method, load it with ReadTrace,
+// and replay it through Config.Replay for bit-exact reproduction.
+type GraphTrace = trace.GraphTrace
+
+// ReadTrace parses a JSONL graph trace (as written by GraphTrace.Write).
+func ReadTrace(r io.Reader) (*GraphTrace, error) { return trace.ReadGraphTrace(r) }
+
 // Adversaries bundled with the simulator.
 const (
 	// AdvStatic serves a fixed random connected graph.
@@ -75,6 +118,11 @@ const (
 
 // Config describes one simulation.
 type Config struct {
+	// Scenario, when non-empty, selects a registered workload supplying the
+	// instance shape, dynamics, and arrival schedule. N/K/Sources must stay
+	// zero; Algorithm and Adversary, when set, override the scenario's
+	// defaults.
+	Scenario Scenario
 	// N is the number of nodes (>= 2) and K the number of tokens (>= 1).
 	N, K int
 	// Sources is the number of source nodes s: 1 = single source, N with
@@ -84,6 +132,9 @@ type Config struct {
 	// Algorithm and Adversary select the protocol and the dynamic topology.
 	Algorithm Algorithm
 	Adversary Adversary
+	// Replay, when non-nil, replays a recorded graph trace as the dynamics
+	// instead of a live adversary (it takes precedence over Adversary).
+	Replay *GraphTrace
 	// Seed derives every random choice. Runs are reproducible given equal
 	// configs.
 	Seed int64
@@ -119,38 +170,78 @@ type Report struct {
 	AdversaryName string `json:"adversary"`
 }
 
-// Run executes one simulation described by cfg. The algorithm and adversary
-// are resolved by name through internal/registry (via the sweep layer's
-// single trial runner), so algorithms registered by other packages work here
-// too.
+// Run executes one simulation described by cfg. Scenarios, algorithms, and
+// adversaries are resolved by name through their registries (via the sweep
+// layer's single trial runner), so components registered by other packages
+// work here too.
 func Run(cfg Config) (*Report, error) {
-	if cfg.N < 2 {
-		return nil, fmt.Errorf("dynspread: need N >= 2, got %d", cfg.N)
+	return run(cfg, nil)
+}
+
+// RunRecorded executes one simulation and additionally records its dynamics
+// as a replayable GraphTrace: running the same Config with Replay set to the
+// returned trace (live adversary replaced by the recording) reproduces the
+// execution — including its Metrics — exactly.
+func RunRecorded(cfg Config) (*Report, *GraphTrace, error) {
+	var b *trace.Builder
+	rep, err := run(cfg, func(_ int, g *graph.Graph) {
+		if b == nil {
+			b = trace.NewBuilder(g.N())
+		}
+		b.Observe(g)
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-	if cfg.K < 1 {
-		return nil, fmt.Errorf("dynspread: need K >= 1, got %d", cfg.K)
+	if b == nil { // degenerate zero-round completion
+		return rep, &GraphTrace{N: cfg.N}, nil
+	}
+	return rep, b.Trace(), nil
+}
+
+func run(cfg Config, onGraph func(r int, g *graph.Graph)) (*Report, error) {
+	if cfg.Scenario == "" {
+		if cfg.N < 2 {
+			return nil, fmt.Errorf("dynspread: need N >= 2, got %d", cfg.N)
+		}
+		if cfg.K < 1 {
+			return nil, fmt.Errorf("dynspread: need K >= 1, got %d", cfg.K)
+		}
 	}
 	algName := string(cfg.Algorithm)
-	if algName == "" {
-		algName = string(AlgSingleSource)
-	}
 	advName := string(cfg.Adversary)
-	if advName == "" {
-		advName = string(AdvStatic)
+	if cfg.Scenario == "" {
+		// Scenario runs leave blanks for the scenario's own defaults;
+		// direct runs keep the facade's classic defaults.
+		if algName == "" {
+			algName = string(AlgSingleSource)
+		}
+		if advName == "" {
+			advName = string(AdvStatic)
+		}
 	}
-	res, name, err := sweep.RunTrial(sweep.Trial{
-		N: cfg.N, K: cfg.K, Sources: cfg.Sources,
+	var opts any = cfg.Oblivious
+	if cfg.Scenario != "" && cfg.Oblivious == (core.ObliviousOpts{}) {
+		// Let the scenario's algorithm options apply unless the caller set
+		// explicit ones.
+		opts = nil
+	}
+	r, err := sweep.RunTrial(sweep.Trial{
+		Scenario: string(cfg.Scenario),
+		N:        cfg.N, K: cfg.K, Sources: cfg.Sources,
 		Algorithm: algName,
 		Adversary: advName,
+		Replay:    cfg.Replay,
 		Seed:      cfg.Seed,
 		MaxRounds: cfg.MaxRounds,
 		Sigma:     cfg.Sigma,
-		Options:   cfg.Oblivious,
+		Options:   opts,
+		OnGraph:   onGraph,
 	}, cfg.Workspace)
 	if err != nil {
 		return nil, fmt.Errorf("dynspread: %w", err)
 	}
-	return report(res, cfg.K, name), nil
+	return report(r.Res, r.Trial.K, r.AdversaryName), nil
 }
 
 func report(res *sim.Result, k int, advName string) *Report {

@@ -1,9 +1,10 @@
 // Mobile mesh: the paper's opening motivation — ad hoc wireless and mobile
-// networks — made concrete. Nodes drift through an arena; the communication
-// graph is their proximity (unit-disk) graph. The example compares the cost
-// of spreading one node's k tokens with Algorithm 1 against flooding on the
-// same mobility trace, and shows the rotating-star topology as the
-// everything-changes stress case.
+// networks — made concrete as the registered "mobilemesh" scenario. Nodes
+// drift through an arena; the communication graph is their proximity
+// (unit-disk) graph. The example compares the cost of spreading one node's
+// k tokens with Algorithm 1 against flooding on the same mobility trace,
+// and shows the rotating-star topology as the everything-changes stress
+// case (an -adv override of the same workload).
 //
 //	go run ./examples/mobilemesh
 package main
@@ -17,7 +18,7 @@ import (
 
 func main() {
 	const (
-		n = 40
+		n = 40 // the scenario's shape: n nodes, k = 2n tokens, one source
 		k = 80
 	)
 
@@ -31,16 +32,15 @@ func main() {
 	}
 	for _, c := range []runCase{
 		{"single-source (Alg. 1)", dynspread.Config{
-			N: n, K: k, Algorithm: dynspread.AlgSingleSource,
-			Adversary: dynspread.AdvMobility, Seed: 4,
+			Scenario: dynspread.ScenMobileMesh, Seed: 4,
 		}},
 		{"flooding (broadcast)", dynspread.Config{
-			N: n, K: k, Sources: 1, Algorithm: dynspread.AlgFlooding,
-			Adversary: dynspread.AdvMobility, Seed: 4,
+			Scenario: dynspread.ScenMobileMesh, Seed: 4,
+			Algorithm: dynspread.AlgFlooding,
 		}},
 		{"single-source (Alg. 1)", dynspread.Config{
-			N: n, K: k, Algorithm: dynspread.AlgSingleSource,
-			Adversary: dynspread.AdvRotatingStar, Seed: 4,
+			Scenario: dynspread.ScenMobileMesh, Seed: 4,
+			Adversary: dynspread.AdvRotatingStar,
 		}},
 	} {
 		rep, err := dynspread.Run(c.cfg)

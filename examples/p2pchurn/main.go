@@ -1,8 +1,9 @@
 // P2P churn: an n-gossip workload (every peer has one update to share, as in
-// a peer-to-peer overlay) under continuous connection churn. Compares the
-// multi-source unicast algorithm against naive local-broadcast flooding and
-// against Algorithm 2's random-walk center reduction — the paper's Table 1
-// regime where k ≈ s ≈ n.
+// a peer-to-peer overlay) under continuous connection churn — the registered
+// "p2pchurn" scenario, the paper's Table 1 regime where k ≈ s ≈ n. The
+// example crosses the one workload with three algorithms: multi-source
+// unicast (the scenario default), naive local-broadcast flooding, and
+// Algorithm 2's random-walk center reduction.
 //
 //	go run ./examples/p2pchurn
 package main
@@ -16,12 +17,14 @@ import (
 )
 
 func main() {
-	const n = 48
+	const n = 48 // the scenario's shape: n = k = s
 
 	fmt.Printf("n-gossip on a churning P2P overlay (n = k = s = %d)\n\n", n)
 	fmt.Printf("%-28s %10s %10s %12s %14s\n", "algorithm", "rounds", "messages", "amortized", "residual M−TC")
 
 	run := func(name string, cfg dynspread.Config) {
+		cfg.Scenario = dynspread.ScenP2PChurn
+		cfg.Seed = 7
 		rep, err := dynspread.Run(cfg)
 		if err != nil {
 			log.Fatalf("%s: %v", name, err)
@@ -34,20 +37,14 @@ func main() {
 	}
 
 	run("flooding (broadcast)", dynspread.Config{
-		N: n, K: n, Sources: n,
 		Algorithm: dynspread.AlgFlooding,
-		Adversary: dynspread.AdvChurn, Sigma: 3, Seed: 7,
 	})
 	run("multi-source unicast", dynspread.Config{
-		N: n, K: n, Sources: n,
 		Algorithm: dynspread.AlgMultiSource,
-		Adversary: dynspread.AdvChurn, Sigma: 3, Seed: 7,
 	})
 	run("oblivious (Algorithm 2)", dynspread.Config{
-		N: n, K: n, Sources: n,
 		Algorithm: dynspread.AlgOblivious,
 		Adversary: dynspread.AdvRegular, // oblivious near-regular dynamics
-		Seed:      7,
 		Oblivious: core.ObliviousOpts{ForceTwoPhase: true, CF: 0.06, Seed: 8},
 	})
 

@@ -1,6 +1,8 @@
 // Quickstart: disseminate k tokens from one source over a churning dynamic
 // network with Algorithm 1 (Single-Source-Unicast) and read the paper's cost
-// measures off the report.
+// measures off the report. The workload is the registered "quickstart"
+// scenario (n=64, k=128, one source, σ=3 churn) — the same run is
+// `spreadsim -scenario quickstart`.
 //
 //	go run ./examples/quickstart
 package main
@@ -14,13 +16,8 @@ import (
 
 func main() {
 	report, err := dynspread.Run(dynspread.Config{
-		N:         64,  // nodes
-		K:         128, // tokens
-		Sources:   1,   // all tokens start at node 0
-		Algorithm: dynspread.AlgSingleSource,
-		Adversary: dynspread.AdvChurn, // σ=3-edge-stable random churn
-		Sigma:     3,
-		Seed:      1,
+		Scenario: dynspread.ScenQuickstart,
+		Seed:     1,
 	})
 	if err != nil {
 		log.Fatal(err)

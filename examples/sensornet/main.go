@@ -1,8 +1,10 @@
 // Sensor network: local-broadcast dissemination in a wireless-style setting
 // (a node's transmission reaches all current neighbors and costs one
-// message). Runs flooding against benign dynamics and against the paper's
-// strongly adaptive free-edge adversary, showing the Θ(n²) amortized wall of
-// Theorem 2.3 — and why the paper then moves to unicast.
+// message). The workload is the registered "sensornet" scenario — wireless
+// n-gossip against the paper's strongly adaptive free-edge adversary,
+// showing the Θ(n²) amortized wall of Theorem 2.3 — and why the paper then
+// moves to unicast. For contrast the same workload also runs under two
+// benign dynamics (the -adv override of `spreadsim -scenario sensornet`).
 //
 //	go run ./examples/sensornet
 package main
@@ -15,25 +17,23 @@ import (
 )
 
 func main() {
-	const n = 32 // sensors; every sensor holds one reading (n-gossip)
+	const n = 32 // the scenario's shape: n sensors, each holding one reading
 
 	fmt.Printf("wireless flooding, n = k = %d (every broadcast costs 1 message)\n\n", n)
 	fmt.Printf("%-34s %8s %12s %12s %8s\n", "dynamics", "rounds", "broadcasts", "amortized", "vs n²")
 
 	for _, tc := range []struct {
 		name string
-		adv  dynspread.Adversary
+		adv  dynspread.Adversary // "" = the scenario's free-edge adversary
 	}{
 		{"static random graph", dynspread.AdvStatic},
 		{"edge-Markovian fading links", dynspread.AdvMarkovian},
-		{"strongly adaptive (free-edge)", dynspread.AdvFreeEdge},
+		{"strongly adaptive (free-edge)", ""},
 	} {
 		rep, err := dynspread.Run(dynspread.Config{
-			N: n, K: n, Sources: n,
-			Algorithm: dynspread.AlgFlooding,
+			Scenario:  dynspread.ScenSensornet,
 			Adversary: tc.adv,
 			Seed:      11,
-			MaxRounds: 4 * n * n,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -56,6 +56,10 @@ func (f *Flooding) Deliver(_ int, heard []sim.BroadcastHear) {
 	}
 }
 
+// Arrive implements sim.TokenArriver: a streamed token joins the known set
+// and is broadcast whenever its window next comes around.
+func (f *Flooding) Arrive(_ int, t token.ID) { f.know.Add(t) }
+
 // RandomBroadcast broadcasts a uniformly random held token every round. It
 // makes no per-round progress guarantee against a strongly adaptive
 // adversary (the free-edge adversary can often block it entirely); the E1
@@ -97,6 +101,14 @@ func (p *RandomBroadcast) Deliver(_ int, heard []sim.BroadcastHear) {
 	}
 }
 
+// Arrive implements sim.TokenArriver.
+func (p *RandomBroadcast) Arrive(_ int, t token.ID) {
+	if !p.seen.Contains(t) {
+		p.seen.Add(t)
+		p.know = append(p.know, t)
+	}
+}
+
 // SilentBroadcast runs flooding's schedule but only lets nodes with ID below
 // Broadcasters speak. With Broadcasters ≤ n/(c log n) it realizes the
 // c-sparse token assignments of Lemma 2.2: against the free-edge adversary
@@ -128,4 +140,12 @@ func (p *SilentBroadcast) Choose(r int) token.ID {
 // Deliver implements sim.BroadcastProtocol.
 func (p *SilentBroadcast) Deliver(r int, heard []sim.BroadcastHear) {
 	p.inner.Deliver(r, heard)
+}
+
+// Arrive implements sim.TokenArriver by delegating to the wrapped protocol
+// (always Flooding, which implements it). The unchecked assertion is
+// deliberate: silently dropping an arrival would make the run never
+// complete, so a wrapper around a non-streaming protocol must fail loudly.
+func (p *SilentBroadcast) Arrive(r int, t token.ID) {
+	p.inner.(sim.TokenArriver).Arrive(r, t)
 }

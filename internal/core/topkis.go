@@ -74,6 +74,10 @@ func pickUnsent(know, sentTo *bitset.Set) token.ID {
 	return token.None
 }
 
+// Arrive implements sim.TokenArriver: a streamed token joins the known set
+// and gets pushed to every neighbor it has not been sent to, like any other.
+func (p *Topkis) Arrive(_ int, t token.ID) { p.know.Add(t) }
+
 // Deliver implements sim.Protocol.
 func (p *Topkis) Deliver(_ int, in []sim.Message) {
 	for i := range in {

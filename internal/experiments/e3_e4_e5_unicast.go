@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"dynspread/internal/adversary"
@@ -44,7 +45,7 @@ func E3SingleSourceMessages(cfg Config) (*tablefmt.Table, error) {
 			}
 		}
 	}
-	results, err := sweep.Run(trials, sweep.Options{})
+	results, err := sweep.Run(context.Background(), trials, sweep.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -85,7 +86,7 @@ func E4SingleSourceRounds(cfg Config) (*tablefmt.Table, error) {
 			})
 		}
 	}
-	results, err := sweep.Run(trials, sweep.Options{})
+	results, err := sweep.Run(context.Background(), trials, sweep.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -135,7 +136,7 @@ func E5MultiSource(cfg Config) (*tablefmt.Table, error) {
 			}
 		}
 	}
-	results, err := sweep.Run(trials, sweep.Options{})
+	results, err := sweep.Run(context.Background(), trials, sweep.Options{})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -57,7 +58,7 @@ func E6Table1(cfg Config) (*tablefmt.Table, error) {
 	// near-regular substrate. The grid expands k-major with algorithms
 	// adjacent, which is exactly the table's row order. The ObliviousOpts
 	// only apply to the "oblivious" rows; multi-source takes no options.
-	results, err := sweep.RunGrid(sweep.Grid{
+	results, err := sweep.RunGrid(context.Background(), sweep.Grid{
 		Ns:          []int{n},
 		Ks:          ks,
 		Sources:     []int{n},

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"dynspread/internal/adversary"
@@ -34,7 +35,7 @@ func E8StaticBaseline(cfg Config) (*tablefmt.Table, error) {
 			})
 		}
 	}
-	results, err := sweep.Run(trials, sweep.Options{})
+	results, err := sweep.Run(context.Background(), trials, sweep.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -83,7 +84,7 @@ func E9PriorityAblation(cfg Config) (*tablefmt.Table, error) {
 					Options:   tc.opts,
 				}
 			}
-			results, err := sweep.Run(trials, sweep.Options{})
+			results, err := sweep.Run(context.Background(), trials, sweep.Options{})
 			if err != nil {
 				return nil, err
 			}
@@ -131,7 +132,7 @@ func E10CenterSweep(cfg Config) (*tablefmt.Table, error) {
 			Options:   core.ObliviousOpts{Seed: cfg.Seed + 2, CF: cf, ForceTwoPhase: true},
 		}
 	}
-	results, err := sweep.Run(trials, sweep.Options{})
+	results, err := sweep.Run(context.Background(), trials, sweep.Options{})
 	if err != nil {
 		return nil, err
 	}

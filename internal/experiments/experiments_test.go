@@ -40,42 +40,47 @@ func TestConfigDefaults(t *testing.T) {
 	}
 }
 
-// Each experiment runs at quick scale and produces a plausible table. These
-// are integration tests across the whole stack (engine, adversaries,
-// algorithms).
-
-func runExp(t *testing.T, id string) {
-	t.Helper()
-	for _, r := range All() {
-		if r.ID != id {
-			continue
-		}
-		tb, err := r.Run(quickCfg())
-		if err != nil {
-			t.Fatal(err)
-		}
-		if tb.Title == "" || len(tb.Header) == 0 || len(tb.Rows) == 0 {
-			t.Fatalf("%s produced empty table", id)
-		}
-		// Render paths must not panic and must contain the data.
-		if !strings.Contains(tb.Markdown(), tb.Rows[0][0]) {
-			t.Fatalf("%s markdown missing first cell", id)
-		}
-		return
+// TestExperimentsQuickSmoke runs every E1–E13 entry point at quick (tiny-N)
+// scale and asserts each produces a non-empty, renderable table without
+// error. These are integration tests across the whole stack (engine,
+// adversaries, algorithms, sweep); the subtests run in parallel since each
+// experiment is independent.
+func TestExperimentsQuickSmoke(t *testing.T) {
+	rs := All()
+	if len(rs) != 13 {
+		t.Fatalf("got %d runners, want the paper's 13 (E1–E13)", len(rs))
 	}
-	t.Fatalf("experiment %s not found", id)
+	for _, r := range rs {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			t.Parallel()
+			tb, err := r.Run(quickCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tb.Title == "" || len(tb.Header) == 0 || len(tb.Rows) == 0 {
+				t.Fatalf("%s produced empty table", r.ID)
+			}
+			for i, row := range tb.Rows {
+				if len(row) != len(tb.Header) {
+					t.Fatalf("%s row %d has %d cells for %d columns", r.ID, i, len(row), len(tb.Header))
+				}
+			}
+			// Render paths must not panic and must contain the data.
+			if !strings.Contains(tb.Markdown(), tb.Rows[0][0]) {
+				t.Fatalf("%s markdown missing first cell", r.ID)
+			}
+		})
+	}
 }
 
-func TestE1Quick(t *testing.T)  { runExp(t, "E1") }
-func TestE2Quick(t *testing.T)  { runExp(t, "E2") }
-func TestE3Quick(t *testing.T)  { runExp(t, "E3") }
-func TestE4Quick(t *testing.T)  { runExp(t, "E4") }
-func TestE5Quick(t *testing.T)  { runExp(t, "E5") }
-func TestE6Quick(t *testing.T)  { runExp(t, "E6") }
-func TestE7Quick(t *testing.T)  { runExp(t, "E7") }
-func TestE8Quick(t *testing.T)  { runExp(t, "E8") }
-func TestE9Quick(t *testing.T)  { runExp(t, "E9") }
-func TestE10Quick(t *testing.T) { runExp(t, "E10") }
-func TestE11Quick(t *testing.T) { runExp(t, "E11") }
-func TestE12Quick(t *testing.T) { runExp(t, "E12") }
-func TestE13Quick(t *testing.T) { runExp(t, "E13") }
+// The runner list is the contract cmd/experiments and EXPERIMENTS.md rely
+// on: one entry per paper artifact, in paper order.
+func TestRunAllOrder(t *testing.T) {
+	rs := All()
+	for i, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"} {
+		if rs[i].ID != want {
+			t.Fatalf("runner %d is %s, want %s (RunAll relies on paper order)", i, rs[i].ID, want)
+		}
+	}
+}

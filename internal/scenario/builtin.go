@@ -1,0 +1,88 @@
+package scenario
+
+// The bundled scenarios. The first six are the repo's former examples/*
+// programs, now registered workloads: each example's hard-wired config is a
+// one-liner here, runnable via `spreadsim -scenario <name>` and sweepable
+// through sweep.Grid's Scenarios axis. The remaining scenarios exercise the
+// streaming regime the paper's amortized analysis is really about: tokens
+// arriving over time at the sources instead of all being present at round 0.
+
+func init() {
+	// quickstart: the README's first run — one source, σ=3 churn.
+	RegisterScenario(Spec{
+		Name: "quickstart",
+		Doc:  "one source spreads k tokens over σ=3-edge-stable churn (Theorem 3.1's habitat)",
+		N:    64, K: 128, Sources: 1,
+		DefaultAlgorithm: "single-source",
+		Adversary:        "churn",
+		Sigma:            3,
+	})
+	// sensornet: wireless n-gossip against the Section 2 lower-bound
+	// adversary — the Θ(n²) broadcast wall.
+	RegisterScenario(Spec{
+		Name: "sensornet",
+		Doc:  "wireless n-gossip (local broadcast) against the strongly adaptive free-edge adversary",
+		N:    32, K: 32, Sources: 32,
+		DefaultAlgorithm: "flooding",
+		Adversary:        "free-edge",
+		MaxRounds:        4 * 32 * 32,
+	})
+	// p2pchurn: the Table 1 regime k ≈ s ≈ n on a churning overlay.
+	RegisterScenario(Spec{
+		Name: "p2pchurn",
+		Doc:  "n-gossip on a churning P2P overlay (k = s = n, Table 1 regime)",
+		N:    48, K: 48, Sources: 48,
+		DefaultAlgorithm: "multi-source",
+		Adversary:        "churn",
+		Sigma:            3,
+	})
+	// mobilemesh: unit-disk proximity graphs of drifting nodes.
+	RegisterScenario(Spec{
+		Name: "mobilemesh",
+		Doc:  "ad-hoc wireless mesh: one source's tokens over a unit-disk mobility trace",
+		N:    40, K: 80, Sources: 1,
+		DefaultAlgorithm: "single-source",
+		Adversary:        "mobility",
+	})
+	// streaming: large k from one source against the strongly adaptive
+	// request cutter — amortized cost converges to Θ(n).
+	RegisterScenario(Spec{
+		Name: "streaming",
+		Doc:  "one source streams k ≫ n tokens against the strongly adaptive request cutter",
+		N:    32, K: 512, Sources: 1,
+		DefaultAlgorithm: "single-source",
+		Adversary:        "request-cutter",
+	})
+	// walkcenters: Algorithm 2's habitat — n-gossip on oblivious
+	// near-regular dynamics (the walkcenters example inspects its phase-1
+	// substrate directly).
+	RegisterScenario(Spec{
+		Name: "walkcenters",
+		Doc:  "n-gossip on oblivious near-regular dynamics (Algorithm 2's random-walk habitat)",
+		N:    64, K: 64, Sources: 64,
+		DefaultAlgorithm: "oblivious",
+		Adversary:        "regular",
+	})
+
+	// token-stream: the amortized regime taken literally — a steady feed of
+	// tokens entering at the source while the network churns.
+	RegisterScenario(Spec{
+		Name: "token-stream",
+		Doc:  "steady token stream: 2 tokens/round arrive at one source under σ=3 churn",
+		N:    24, K: 48, Sources: 1,
+		DefaultAlgorithm: "topkis",
+		Adversary:        "churn",
+		Sigma:            3,
+		Schedule:         Uniform{Start: 1, Every: 1, Batch: 2},
+	})
+	// bursty-gossip: Poisson-like arrivals spread over several sources on
+	// fading wireless links.
+	RegisterScenario(Spec{
+		Name: "bursty-gossip",
+		Doc:  "bursty arrivals: Poisson-like token feed at 4 sources over edge-Markovian fading links",
+		N:    16, K: 32, Sources: 4,
+		DefaultAlgorithm: "flooding",
+		Adversary:        "markovian",
+		Schedule:         Poisson{Start: 1, MeanGap: 2},
+	})
+}

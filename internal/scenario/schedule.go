@@ -1,0 +1,140 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// A Schedule decides when each token of an instance enters the system. The
+// engine injects token t at its source node at round Rounds(k, seed)[t]
+// (0 = present before round 1, the paper's classic all-at-once instance).
+// Schedules are pure: the same (k, seed) always yields the same rounds, so
+// scenario runs stay reproducible and sweepable.
+type Schedule interface {
+	// Rounds returns the arrival round of each of the k tokens.
+	Rounds(k int, seed int64) ([]int, error)
+	// String is the one-line rendering shown by CLI listings.
+	String() string
+}
+
+// scheduleSeedOffset keeps schedule randomness off the node streams (seed),
+// the oblivious algorithm's shared stream (seed+1), and the adversary
+// streams (seed + small fixed offsets).
+const scheduleSeedOffset = 0x5ced
+
+// Burst injects every token at the same round. Burst{Round: 0} is exactly
+// the classic instance; positive rounds model a delayed batch drop.
+type Burst struct {
+	Round int
+}
+
+// Rounds implements Schedule.
+func (s Burst) Rounds(k int, _ int64) ([]int, error) {
+	if s.Round < 0 {
+		return nil, fmt.Errorf("scenario: burst round %d < 0", s.Round)
+	}
+	out := make([]int, k)
+	for i := range out {
+		out[i] = s.Round
+	}
+	return out, nil
+}
+
+func (s Burst) String() string { return fmt.Sprintf("burst@%d", s.Round) }
+
+// Uniform injects tokens at a fixed rate: Batch tokens (default 1) every
+// Every rounds (default 1) starting at Start (default 1) — token i arrives
+// at Start + (i/Batch)·Every. This is the steady stream of the paper's
+// audio/video-transmission motivation.
+type Uniform struct {
+	Start, Every, Batch int
+}
+
+// Rounds implements Schedule.
+func (s Uniform) Rounds(k int, _ int64) ([]int, error) {
+	start, every, batch := s.Start, s.Every, s.Batch
+	if start <= 0 {
+		start = 1
+	}
+	if every <= 0 {
+		every = 1
+	}
+	if batch <= 0 {
+		batch = 1
+	}
+	out := make([]int, k)
+	for i := range out {
+		out[i] = start + (i/batch)*every
+	}
+	return out, nil
+}
+
+func (s Uniform) String() string {
+	start, every, batch := s.Start, s.Every, s.Batch
+	if start <= 0 {
+		start = 1
+	}
+	if every <= 0 {
+		every = 1
+	}
+	if batch <= 0 {
+		batch = 1
+	}
+	return fmt.Sprintf("uniform(start=%d, %d token(s) every %d round(s))", start, batch, every)
+}
+
+// Poisson injects tokens with independent exponential inter-arrival gaps of
+// mean MeanGap rounds (default 1), starting around Start (default 1). The
+// gaps are drawn from a seed-derived stream, so the schedule is
+// Poisson-like but fully deterministic per seed — replays and sweeps see
+// the exact same arrivals.
+type Poisson struct {
+	Start   int
+	MeanGap float64
+}
+
+// Rounds implements Schedule.
+func (s Poisson) Rounds(k int, seed int64) ([]int, error) {
+	start := s.Start
+	if start <= 0 {
+		start = 1
+	}
+	mean := s.MeanGap
+	if mean <= 0 {
+		mean = 1
+	}
+	rng := rand.New(rand.NewSource(seed + scheduleSeedOffset))
+	out := make([]int, k)
+	at := float64(start)
+	for i := range out {
+		out[i] = int(at)
+		at += rng.ExpFloat64() * mean
+	}
+	return out, nil
+}
+
+func (s Poisson) String() string {
+	mean := s.MeanGap
+	if mean <= 0 {
+		mean = 1
+	}
+	return fmt.Sprintf("poisson(mean gap %.2g rounds)", mean)
+}
+
+// Explicit pins every token's arrival round directly: token i arrives at
+// At[i]. Len(At) must equal the instance's k.
+type Explicit struct {
+	At []int
+}
+
+// Rounds implements Schedule.
+func (s Explicit) Rounds(k int, _ int64) ([]int, error) {
+	if len(s.At) != k {
+		return nil, fmt.Errorf("scenario: explicit schedule has %d entries for k=%d tokens", len(s.At), k)
+	}
+	out := make([]int, k)
+	copy(out, s.At)
+	return out, nil
+}
+
+func (s Explicit) String() string { return fmt.Sprintf("explicit(%d arrivals)", len(s.At)) }

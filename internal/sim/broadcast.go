@@ -19,6 +19,10 @@ type BroadcastConfig struct {
 	Adversary BroadcastAdversary
 	MaxRounds int
 	Seed      int64
+	// ArrivalSchedule, when non-nil, streams the token supply exactly as in
+	// UnicastConfig: entry t is the round token t is injected at its source
+	// (0 = present before round 1); nil reproduces the classic semantics.
+	ArrivalSchedule []int
 	// OnRound, if non-nil, observes each round: the graph, the committed
 	// choices, and the number of token learnings that happened this round.
 	// The choices slice is only valid for the duration of the callback.
@@ -37,6 +41,7 @@ func RunBroadcast(cfg BroadcastConfig) (*Result, error) {
 		maxRounds: cfg.MaxRounds,
 		seed:      cfg.Seed,
 		ws:        cfg.Workspace,
+		arrivals:  cfg.ArrivalSchedule,
 	}, &broadcastMode{cfg: cfg})
 }
 
@@ -81,6 +86,11 @@ func (m *broadcastMode) newProto(env NodeEnv) error {
 }
 
 func (m *broadcastMode) advName() string { return m.cfg.Adversary.Name() }
+
+func (m *broadcastMode) arriver(v graph.NodeID) TokenArriver {
+	a, _ := m.protos[v].(TokenArriver)
+	return a
+}
 
 // commit lets every node commit its broadcast (token-forwarding checked)
 // before the adversary sees anything of the round.

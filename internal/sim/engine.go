@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"dynspread/internal/bitset"
 	"dynspread/internal/graph"
@@ -40,6 +41,7 @@ type engineConfig struct {
 	seed           int64
 	checkStability int
 	ws             *Workspace
+	arrivals       []int
 }
 
 // engineMode plugs one communication mode into the shared round loop. Every
@@ -65,6 +67,50 @@ type engineMode interface {
 	exchange(r int, g *graph.Graph) (learned int64, err error)
 	// observe reports the finished round to the caller's OnRound hook.
 	observe(r int, g *graph.Graph, learned int64)
+	// arriver returns node v's protocol as a TokenArriver, or nil if the
+	// protocol does not support streaming token arrival.
+	arriver(v graph.NodeID) TokenArriver
+}
+
+// arrival is one scheduled token injection, kept sorted by (round, token)
+// so the round loop consumes the schedule with a single cursor.
+type arrival struct {
+	round int
+	tok   token.ID
+}
+
+// buildArrivals validates an arrival schedule against the instance and
+// returns the late (round >= 1) injections sorted by round then token, plus
+// the last arrival round. A nil/empty schedule yields no injections: every
+// token is present at round 0 and the engine behaves exactly like the
+// schedule-less engine.
+func buildArrivals(sched []int, k int) ([]arrival, int, error) {
+	if len(sched) == 0 {
+		return nil, 0, nil
+	}
+	if len(sched) != k {
+		return nil, 0, fmt.Errorf("sim: arrival schedule has %d entries for k=%d tokens", len(sched), k)
+	}
+	var late []arrival
+	last := 0
+	for t, r := range sched {
+		if r < 0 {
+			return nil, 0, fmt.Errorf("sim: token %d has negative arrival round %d", t, r)
+		}
+		if r > last {
+			last = r
+		}
+		if r >= 1 {
+			late = append(late, arrival{round: r, tok: t})
+		}
+	}
+	sort.Slice(late, func(i, j int) bool {
+		if late[i].round != late[j].round {
+			return late[i].round < late[j].round
+		}
+		return late[i].tok < late[j].tok
+	})
+	return late, last, nil
 }
 
 // engineState is the execution state shared between the round loop and the
@@ -97,9 +143,19 @@ func runEngine(cfg engineConfig, mode engineMode) (*Result, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("sim: need n >= 2 nodes, got %d", n)
 	}
+	late, lastArrival, err := buildArrivals(cfg.arrivals, k)
+	if err != nil {
+		return nil, err
+	}
 	maxRounds := cfg.maxRounds
 	if maxRounds <= 0 {
-		maxRounds = DefaultMaxRounds(n, k)
+		// Late arrivals shift the whole dissemination: the cap must be
+		// generous past the LAST injection, not past round 0.
+		maxRounds = DefaultMaxRounds(n, k) + lastArrival
+	} else if lastArrival > maxRounds {
+		// An explicit cap below the last scheduled injection can never
+		// complete; fail fast instead of reporting an ordinary timeout.
+		return nil, fmt.Errorf("sim: max rounds %d is below the last scheduled token arrival (round %d)", maxRounds, lastArrival)
 	}
 
 	st := &engineState{n: n, k: k, know: cfg.ws.knowFor(n, k)}
@@ -107,6 +163,15 @@ func runEngine(cfg engineConfig, mode engineMode) (*Result, error) {
 	rootRng := rand.New(rand.NewSource(cfg.seed))
 	for v := 0; v < n; v++ {
 		initial := append([]token.ID(nil), cfg.assign.TokensOf(v)...)
+		if len(late) > 0 {
+			kept := initial[:0]
+			for _, t := range initial {
+				if cfg.arrivals[t] == 0 {
+					kept = append(kept, t)
+				}
+			}
+			initial = kept
+		}
 		for _, t := range initial {
 			st.know[v].Add(t)
 		}
@@ -122,6 +187,15 @@ func runEngine(cfg engineConfig, mode engineMode) (*Result, error) {
 			return nil, err
 		}
 	}
+	// Fail fast: every source receiving a late token must understand
+	// injections, otherwise the run could silently never complete.
+	for _, a := range late {
+		src := cfg.assign.Info(a.tok).Source
+		if mode.arriver(src) == nil {
+			return nil, fmt.Errorf("sim: token %d arrives at round %d but the protocol at node %d does not implement sim.TokenArriver (algorithm does not support streaming arrivals)",
+				a.tok, a.round, src)
+		}
+	}
 
 	var stability *graph.StabilityTracker
 	if cfg.checkStability > 0 {
@@ -132,7 +206,17 @@ func runEngine(cfg engineConfig, mode engineMode) (*Result, error) {
 	if st.complete() { // degenerate: k == 0 or everyone starts complete
 		return &Result{Completed: true, Rounds: 0, Metrics: st.metrics}, nil
 	}
+	next := 0 // cursor into the sorted late-arrival schedule
 	for r := 1; r <= maxRounds; r++ {
+		// Inject this round's token arrivals before the pre-graph half, so
+		// a token arriving at round r can be committed/sent in round r.
+		for next < len(late) && late[next].round == r {
+			a := late[next]
+			next++
+			src := cfg.assign.Info(a.tok).Source
+			st.know[src].Add(a.tok)
+			mode.arriver(src).Arrive(r, a.tok)
+		}
 		if err := mode.commit(r); err != nil {
 			return nil, err
 		}

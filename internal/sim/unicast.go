@@ -22,6 +22,12 @@ type UnicastConfig struct {
 	// σ-edge-stable and fails the run otherwise. This guards experiments
 	// whose theorems assume 3-edge stability.
 	CheckStability int
+	// ArrivalSchedule, when non-nil, streams the token supply: entry t is
+	// the round token t is injected at its source (0 = present before round
+	// 1, the classic instance). Len must equal K. nil reproduces the
+	// all-tokens-at-round-0 semantics bit for bit. Late arrivals require the
+	// protocol to implement TokenArriver.
+	ArrivalSchedule []int
 	// OnRound, if non-nil, observes every round after delivery: the round
 	// number, that round's graph, the messages sent, and the number of
 	// token-learning events the round produced. For tracing. The sent slice
@@ -42,6 +48,7 @@ func RunUnicast(cfg UnicastConfig) (*Result, error) {
 		seed:           cfg.Seed,
 		checkStability: cfg.CheckStability,
 		ws:             cfg.Workspace,
+		arrivals:       cfg.ArrivalSchedule,
 	}, &unicastMode{cfg: cfg})
 }
 
@@ -94,6 +101,11 @@ func (m *unicastMode) newProto(env NodeEnv) error {
 }
 
 func (m *unicastMode) advName() string { return m.cfg.Adversary.Name() }
+
+func (m *unicastMode) arriver(v graph.NodeID) TokenArriver {
+	a, _ := m.protos[v].(TokenArriver)
+	return a
+}
 
 func (m *unicastMode) commit(int) error { return nil }
 

@@ -131,6 +131,18 @@ type Protocol interface {
 // Factory builds the protocol instance for one node.
 type Factory func(env NodeEnv) Protocol
 
+// TokenArriver is the optional interface of protocols (unicast or broadcast)
+// that support streaming token arrival: the engine calls Arrive at the start
+// of round r — before Choose/BeginRound — when the arrival schedule injects
+// token t at this node. The engine has already added t to the node's
+// knowledge set, so the protocol may commit/send it in the same round.
+// Executions whose arrival schedule injects tokens after round 0 require the
+// protocol at every late token's source to implement this interface; the
+// engine rejects the run otherwise.
+type TokenArriver interface {
+	Arrive(r int, t token.ID)
+}
+
 // BroadcastProtocol is a local-broadcast token-forwarding algorithm at one
 // node. Choose commits the round's broadcast before the adversary wires the
 // graph (nodes do not know their neighbors in advance in this mode); Deliver

@@ -1,27 +1,50 @@
 // Package sweep is the high-throughput trial-execution layer on top of the
 // unified round engine: declarative trial grids (N×K×algorithm×adversary×
-// seeds), a worker pool sized to GOMAXPROCS, and per-worker reuse of the
-// engine's graph/bitset/message buffers so sweeping thousands of trials
-// allocates far less than calling the engine cold per trial. Algorithms and
-// adversaries are resolved by name through internal/registry, so anything
-// registered anywhere in the program is sweepable.
+// seeds, plus a scenarios axis), a worker pool sized to GOMAXPROCS, and
+// per-worker reuse of the engine's graph/bitset/message buffers so sweeping
+// thousands of trials allocates far less than calling the engine cold per
+// trial. Algorithms, adversaries, and scenarios are resolved by name through
+// their registries, so anything registered anywhere in the program is
+// sweepable — including workloads with streaming token arrivals and
+// trace-replay dynamics.
 package sweep
 
 import (
+	"context"
 	"fmt"
 
+	"dynspread/internal/adversary"
+	"dynspread/internal/graph"
 	"dynspread/internal/registry"
+	"dynspread/internal/scenario"
 	"dynspread/internal/sim"
 	"dynspread/internal/stats"
 	"dynspread/internal/token"
+	"dynspread/internal/trace"
 )
 
 // Trial is one fully specified execution.
 type Trial struct {
+	// Scenario, when non-empty, resolves a registered workload: the scenario
+	// supplies N/K/Sources, the dynamics, the arrival schedule, and defaults
+	// for Algorithm/Sigma/MaxRounds/Options. A scenario trial must leave
+	// N/K/Sources zero; Algorithm and Adversary may be set to override the
+	// scenario's defaults (crossing one workload with many algorithms or
+	// alternative dynamics).
+	Scenario string
 	// N and K are the node and token counts; Sources defaults to 1.
 	N, K, Sources int
 	// Algorithm and Adversary are registry names.
 	Algorithm, Adversary string
+	// Replay, when non-nil, replays a recorded per-round edge-event stream
+	// as the dynamics instead of a live adversary (it takes precedence over
+	// Adversary). Replayed graphs reproduce the recorded topology exactly.
+	Replay *trace.GraphTrace
+	// Arrivals, when non-nil, is the engine-level token arrival schedule
+	// (entry t = round token t is injected at its source; see
+	// sim.UnicastConfig.ArrivalSchedule). Scenario trials materialize it
+	// from the scenario's Schedule when unset.
+	Arrivals []int
 	// Seed derives all randomness of the trial.
 	Seed int64
 	// MaxRounds caps the execution (0 = sim.DefaultMaxRounds).
@@ -35,22 +58,82 @@ type Trial struct {
 	// options (see registry.Params).
 	Options    any
 	AdvOptions any
+	// OnGraph, if non-nil, observes every round's communication graph after
+	// delivery. This is how runs are recorded into replayable traces.
+	OnGraph func(r int, g *graph.Graph)
 }
 
 func (t Trial) String() string {
+	if t.Scenario != "" {
+		alg := t.Algorithm
+		if alg == "" {
+			alg = "<scenario default>"
+		}
+		return fmt.Sprintf("scenario %s×%s seed=%d", t.Scenario, alg, t.Seed)
+	}
 	return fmt.Sprintf("%s×%s n=%d k=%d s=%d seed=%d", t.Algorithm, t.Adversary, t.N, t.K, t.Sources, t.Seed)
 }
 
-// Grid declares a cross product of trials. Zero-length dimensions default
-// to a single zero/first value where that is meaningful (Sources → 1,
-// Seeds → {0}). Ns, Ks, Algorithms, and Adversaries are required: Trials
-// expands an incomplete grid to nothing, and RunGrid rejects it.
+// resolveScenario expands a scenario trial into a concrete one. Precedence
+// for the dynamics: an explicit Replay, then an explicit Adversary override,
+// then the scenario's own trace or adversary.
+func resolveScenario(t Trial) (Trial, error) {
+	if t.Scenario == "" {
+		return t, nil
+	}
+	spec, err := scenario.LookupScenario(t.Scenario)
+	if err != nil {
+		return t, err
+	}
+	if t.N != 0 || t.K != 0 || t.Sources != 0 {
+		return t, fmt.Errorf("trial with scenario %q must leave N/K/Sources zero (the scenario defines the shape)", t.Scenario)
+	}
+	t.N, t.K, t.Sources = spec.N, spec.K, spec.NumSources()
+	if t.Algorithm == "" {
+		t.Algorithm = spec.DefaultAlgorithm
+	}
+	if t.Replay == nil && t.Adversary == "" {
+		t.Adversary = spec.Adversary
+		t.Replay = spec.Trace
+	}
+	if t.Sigma == 0 {
+		t.Sigma = spec.Sigma
+	}
+	if t.MaxRounds == 0 {
+		t.MaxRounds = spec.MaxRounds
+	}
+	if t.Options == nil {
+		t.Options = spec.Options
+	}
+	if t.AdvOptions == nil {
+		t.AdvOptions = spec.AdvOptions
+	}
+	if t.Arrivals == nil {
+		arr, err := spec.ArrivalRounds(t.Seed)
+		if err != nil {
+			return t, err
+		}
+		t.Arrivals = arr
+	}
+	return t, nil
+}
+
+// Grid declares a cross product of trials along two families of axes.
+//
+// The classic family crosses Ns × Ks × Sources × Algorithms × Adversaries ×
+// Seeds; Ns, Ks, Algorithms, and Adversaries are required for it (Sources →
+// 1 and Seeds → {0} by default). The Scenarios axis additionally crosses
+// registered workloads against Algorithms (empty → each scenario's default
+// algorithm) and Seeds. A grid may use either family or both; RunGrid only
+// rejects a grid that expands to no trials at all.
 type Grid struct {
 	Ns, Ks      []int
 	Sources     []int
 	Algorithms  []string
 	Adversaries []string
-	Seeds       []int64
+	// Scenarios lists registered scenario names to sweep.
+	Scenarios []string
+	Seeds     []int64
 	// MaxRounds, Sigma, CheckStability, Options, and AdvOptions apply to
 	// every trial of the grid.
 	MaxRounds      int
@@ -60,8 +143,10 @@ type Grid struct {
 	AdvOptions     any
 }
 
-// Trials expands the grid in deterministic order: n, k, sources, algorithm,
-// adversary, seed — seeds innermost so replicates of one cell are adjacent.
+// Trials expands the grid in deterministic order: the classic family first
+// (n, k, sources, algorithm, adversary, seed — seeds innermost so
+// replicates of one cell are adjacent), then the scenario family (scenario,
+// algorithm, seed).
 func (g Grid) Trials() []Trial {
 	sources := g.Sources
 	if len(sources) == 0 {
@@ -94,11 +179,33 @@ func (g Grid) Trials() []Trial {
 			}
 		}
 	}
+	algs := g.Algorithms
+	if len(algs) == 0 {
+		algs = []string{""} // each scenario's default algorithm
+	}
+	for _, sc := range g.Scenarios {
+		for _, alg := range algs {
+			for _, seed := range seeds {
+				out = append(out, Trial{
+					Scenario:       sc,
+					Algorithm:      alg,
+					Seed:           seed,
+					MaxRounds:      g.MaxRounds,
+					Sigma:          g.Sigma,
+					CheckStability: g.CheckStability,
+					Options:        g.Options,
+					AdvOptions:     g.AdvOptions,
+				})
+			}
+		}
+	}
 	return out
 }
 
 // Result pairs a trial with its engine outcome.
 type Result struct {
+	// Trial is the RESOLVED trial: for scenario trials the shape, dynamics,
+	// and arrival schedule are filled in from the scenario spec.
 	Trial Trial
 	// AdversaryName is the concrete adversary's self-reported name.
 	AdversaryName string
@@ -107,29 +214,41 @@ type Result struct {
 
 // RunTrial resolves and executes one trial. ws, when non-nil, supplies
 // reusable engine buffers (single-goroutine use only). It returns the
-// engine result and the adversary's self-reported name. This is the one
-// place in the codebase that turns (algorithm, adversary) names into an
-// engine execution; the dynspread facade and the worker pool both call it.
-func RunTrial(t Trial, ws *sim.Workspace) (*sim.Result, string, error) {
+// result paired with the RESOLVED trial (scenario names expanded into their
+// concrete shape, algorithm, dynamics, and arrival schedule) and the
+// adversary's self-reported name. This is the one place in the codebase
+// that turns (scenario, algorithm, adversary) names into an engine
+// execution; the dynspread facade and the worker pool both call it.
+func RunTrial(t Trial, ws *sim.Workspace) (Result, error) {
+	t, err := resolveScenario(t)
+	if err != nil {
+		return Result{Trial: t}, err
+	}
+	fail := func(err error) (Result, error) { return Result{Trial: t}, err }
 	s := t.Sources
 	if s <= 0 {
 		s = 1
 	}
 	assign, err := token.Balanced(t.N, t.K, s)
 	if err != nil {
-		return nil, "", err
+		return fail(err)
 	}
 	alg, err := registry.LookupAlgorithm(t.Algorithm)
 	if err != nil {
-		return nil, "", err
+		return fail(err)
 	}
-	adv, err := registry.LookupAdversary(t.Adversary)
-	if err != nil {
-		return nil, "", err
-	}
-	if !adv.Modes.Has(alg.Mode) {
-		return nil, "", fmt.Errorf("adversary %q serves %v executions, not %v algorithms like %q",
-			t.Adversary, adv.Modes, alg.Mode, t.Algorithm)
+	var adv registry.Adversary
+	if t.Replay == nil {
+		adv, err = registry.LookupAdversary(t.Adversary)
+		if err != nil {
+			return fail(err)
+		}
+		if !adv.Modes.Has(alg.Mode) {
+			return fail(fmt.Errorf("adversary %q serves %v executions, not %v algorithms like %q",
+				t.Adversary, adv.Modes, alg.Mode, t.Algorithm))
+		}
+	} else if t.Replay.N != t.N {
+		return fail(fmt.Errorf("replay trace has n=%d, trial has n=%d", t.Replay.N, t.N))
 	}
 	p := registry.Params{
 		N: t.N, K: t.K, Sources: s,
@@ -142,48 +261,68 @@ func RunTrial(t Trial, ws *sim.Workspace) (*sim.Result, string, error) {
 	case registry.Unicast:
 		factory, err := alg.Unicast(p)
 		if err != nil {
-			return nil, "", fmt.Errorf("algorithm %q: %w", t.Algorithm, err)
+			return fail(fmt.Errorf("algorithm %q: %w", t.Algorithm, err))
 		}
-		a, err := adv.Unicast(p)
+		var a sim.Adversary
+		if t.Replay != nil {
+			a, err = adversary.NewReplay(t.Replay)
+		} else {
+			a, err = adv.Unicast(p)
+		}
 		if err != nil {
-			return nil, "", fmt.Errorf("adversary %q: %w", t.Adversary, err)
+			return fail(fmt.Errorf("adversary %q: %w", t.Adversary, err))
 		}
-		res, err := sim.RunUnicast(sim.UnicastConfig{
-			Assign:         assign,
-			Factory:        factory,
-			Adversary:      a,
-			MaxRounds:      t.MaxRounds,
-			Seed:           t.Seed,
-			CheckStability: t.CheckStability,
-			Workspace:      ws,
-		})
+		cfg := sim.UnicastConfig{
+			Assign:          assign,
+			Factory:         factory,
+			Adversary:       a,
+			MaxRounds:       t.MaxRounds,
+			Seed:            t.Seed,
+			CheckStability:  t.CheckStability,
+			ArrivalSchedule: t.Arrivals,
+			Workspace:       ws,
+		}
+		if hook := t.OnGraph; hook != nil {
+			cfg.OnRound = func(r int, g *graph.Graph, _ []sim.Message, _ int64) { hook(r, g) }
+		}
+		res, err := sim.RunUnicast(cfg)
 		if err != nil {
-			return nil, "", err
+			return fail(err)
 		}
-		return res, a.Name(), nil
+		return Result{Trial: t, AdversaryName: a.Name(), Res: res}, nil
 	case registry.Broadcast:
 		factory, err := alg.Broadcast(p)
 		if err != nil {
-			return nil, "", fmt.Errorf("algorithm %q: %w", t.Algorithm, err)
+			return fail(fmt.Errorf("algorithm %q: %w", t.Algorithm, err))
 		}
-		a, err := adv.Broadcast(p)
+		var a sim.BroadcastAdversary
+		if t.Replay != nil {
+			a, err = adversary.NewReplayBroadcast(t.Replay)
+		} else {
+			a, err = adv.Broadcast(p)
+		}
 		if err != nil {
-			return nil, "", fmt.Errorf("adversary %q: %w", t.Adversary, err)
+			return fail(fmt.Errorf("adversary %q: %w", t.Adversary, err))
 		}
-		res, err := sim.RunBroadcast(sim.BroadcastConfig{
-			Assign:    assign,
-			Factory:   factory,
-			Adversary: a,
-			MaxRounds: t.MaxRounds,
-			Seed:      t.Seed,
-			Workspace: ws,
-		})
+		cfg := sim.BroadcastConfig{
+			Assign:          assign,
+			Factory:         factory,
+			Adversary:       a,
+			MaxRounds:       t.MaxRounds,
+			Seed:            t.Seed,
+			ArrivalSchedule: t.Arrivals,
+			Workspace:       ws,
+		}
+		if hook := t.OnGraph; hook != nil {
+			cfg.OnRound = func(r int, g *graph.Graph, _ []token.ID, _ int64) { hook(r, g) }
+		}
+		res, err := sim.RunBroadcast(cfg)
 		if err != nil {
-			return nil, "", err
+			return fail(err)
 		}
-		return res, a.Name(), nil
+		return Result{Trial: t, AdversaryName: a.Name(), Res: res}, nil
 	default:
-		return nil, "", fmt.Errorf("algorithm %q has unsupported mode %v", t.Algorithm, alg.Mode)
+		return fail(fmt.Errorf("algorithm %q has unsupported mode %v", t.Algorithm, alg.Mode))
 	}
 }
 
@@ -198,20 +337,28 @@ type Options struct {
 // its sequential trials, cutting per-trial allocations. The first error
 // wins: workers stop picking up new trials as soon as any trial fails
 // (in-flight trials still finish), and Run reports that first-by-index
-// error.
-func Run(trials []Trial, opts Options) ([]Result, error) {
+// error. Cancelling ctx stops the dispatch of further trials the same way —
+// already-dispatched trials run to completion and the first undispatched
+// index reports the context's error. A nil ctx means context.Background().
+func Run(ctx context.Context, trials []Trial, opts Options) ([]Result, error) {
 	if len(trials) == 0 {
 		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	results := make([]Result, len(trials))
 	i, err := sim.ForEach(len(trials), opts.Parallelism, func() func(i int) error {
 		ws := sim.NewWorkspace()
 		return func(i int) error {
-			res, name, err := RunTrial(trials[i], ws)
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			r, err := RunTrial(trials[i], ws)
 			if err != nil {
 				return err
 			}
-			results[i] = Result{Trial: trials[i], AdversaryName: name, Res: res}
+			results[i] = r
 			return nil
 		}
 	})
@@ -221,23 +368,29 @@ func Run(trials []Trial, opts Options) ([]Result, error) {
 	return results, nil
 }
 
-// RunGrid expands and runs a grid in one call. A grid missing a required
-// dimension is an error rather than a silent zero-trial success.
-func RunGrid(g Grid, opts Options) ([]Result, error) {
-	for _, dim := range []struct {
-		name  string
-		empty bool
-	}{
-		{"Ns", len(g.Ns) == 0},
-		{"Ks", len(g.Ks) == 0},
-		{"Algorithms", len(g.Algorithms) == 0},
-		{"Adversaries", len(g.Adversaries) == 0},
-	} {
-		if dim.empty {
-			return nil, fmt.Errorf("sweep: grid dimension %s is empty", dim.name)
+// RunGrid expands and runs a grid in one call. A grid whose classic family
+// is partially specified — or that names no scenarios and is missing a
+// required classic dimension — is an error rather than a silent
+// zero-or-fewer-trials-than-intended success. (Algorithms alone does not
+// signal classic intent: it also crosses the Scenarios axis.)
+func RunGrid(ctx context.Context, g Grid, opts Options) ([]Result, error) {
+	classicIntended := len(g.Ns) > 0 || len(g.Ks) > 0 || len(g.Sources) > 0 || len(g.Adversaries) > 0
+	if classicIntended || len(g.Scenarios) == 0 {
+		for _, dim := range []struct {
+			name  string
+			empty bool
+		}{
+			{"Ns", len(g.Ns) == 0},
+			{"Ks", len(g.Ks) == 0},
+			{"Algorithms", len(g.Algorithms) == 0},
+			{"Adversaries", len(g.Adversaries) == 0},
+		} {
+			if dim.empty {
+				return nil, fmt.Errorf("sweep: grid dimension %s is empty", dim.name)
+			}
 		}
 	}
-	return Run(g.Trials(), opts)
+	return Run(ctx, g.Trials(), opts)
 }
 
 // Aggregate summarizes one metric over a set of results, keyed by a

@@ -1,6 +1,11 @@
 package sweep
 
 import (
+	"errors"
+
+	"context"
+	"dynspread/internal/graph"
+	"dynspread/internal/trace"
 	"strings"
 	"testing"
 
@@ -45,11 +50,11 @@ func TestRunMatchesSerialAndIsDeterministic(t *testing.T) {
 		Adversaries: []string{"static", "churn"},
 		Seeds:       []int64{1, 2, 3},
 	}
-	serial, err := Run(g.Trials(), Options{Parallelism: 1})
+	serial, err := Run(context.Background(), g.Trials(), Options{Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := Run(g.Trials(), Options{Parallelism: 4})
+	parallel, err := Run(context.Background(), g.Trials(), Options{Parallelism: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,13 +77,13 @@ func TestRunMatchesSerialAndIsDeterministic(t *testing.T) {
 // work list must give identical results.
 func TestRunWorkspaceReuseIsStateless(t *testing.T) {
 	probe := Trial{N: 10, K: 10, Algorithm: "single-source", Adversary: "churn", Seed: 5}
-	alone, err := Run([]Trial{probe}, Options{Parallelism: 1})
+	alone, err := Run(context.Background(), []Trial{probe}, Options{Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Same probe after trials of different shapes (bigger n, broadcast mode)
 	// on ONE worker, so all share a workspace.
-	mixed, err := Run([]Trial{
+	mixed, err := Run(context.Background(), []Trial{
 		{N: 16, K: 4, Algorithm: "topkis", Adversary: "static", Seed: 1},
 		{N: 6, K: 6, Sources: 6, Algorithm: "flooding", Adversary: "static", Seed: 2},
 		probe,
@@ -99,7 +104,7 @@ func TestRunStopsDispatchingAfterError(t *testing.T) {
 		{N: 8, K: 4, Algorithm: "no-such-algorithm", Adversary: "static", Seed: 1},
 		{N: 8, K: 4, Algorithm: "single-source", Adversary: "static", Seed: 2},
 	}
-	_, err := Run(trials, Options{Parallelism: 1})
+	_, err := Run(context.Background(), trials, Options{Parallelism: 1})
 	if err == nil {
 		t.Fatal("expected error")
 	}
@@ -109,23 +114,23 @@ func TestRunStopsDispatchingAfterError(t *testing.T) {
 }
 
 func TestRunTrialModeMismatch(t *testing.T) {
-	if _, _, err := RunTrial(Trial{N: 8, K: 4, Algorithm: "flooding", Adversary: "request-cutter"}, nil); err == nil {
+	if _, err := RunTrial(Trial{N: 8, K: 4, Algorithm: "flooding", Adversary: "request-cutter"}, nil); err == nil {
 		t.Fatal("broadcast algorithm × unicast-only adversary must fail")
 	}
-	if _, _, err := RunTrial(Trial{N: 8, K: 4, Algorithm: "single-source", Adversary: "free-edge"}, nil); err == nil {
+	if _, err := RunTrial(Trial{N: 8, K: 4, Algorithm: "single-source", Adversary: "free-edge"}, nil); err == nil {
 		t.Fatal("unicast algorithm × broadcast-only adversary must fail")
 	}
 }
 
 func TestRunEmpty(t *testing.T) {
-	res, err := Run(nil, Options{})
+	res, err := Run(context.Background(), nil, Options{})
 	if err != nil || res != nil {
 		t.Fatalf("empty run: %v %v", res, err)
 	}
 }
 
 func TestAggregate(t *testing.T) {
-	results, err := Run([]Trial{
+	results, err := Run(context.Background(), []Trial{
 		{N: 10, K: 8, Algorithm: "single-source", Adversary: "static", Seed: 1},
 		{N: 10, K: 8, Algorithm: "single-source", Adversary: "static", Seed: 2},
 	}, Options{})
@@ -138,5 +143,161 @@ func TestAggregate(t *testing.T) {
 	}
 	if r := Aggregate(results, Rounds); r.Mean <= 0 {
 		t.Fatalf("bad rounds summary %+v", r)
+	}
+}
+
+func TestRunPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, []Trial{
+		{N: 8, K: 4, Algorithm: "single-source", Adversary: "static", Seed: 1},
+	}, Options{Parallelism: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "trial 0") {
+		t.Fatalf("error does not identify the first undispatched trial: %v", err)
+	}
+}
+
+func TestRunCancellationStopsDispatch(t *testing.T) {
+	// One worker; trial 1 cancels the context mid-run (from its OnGraph
+	// hook). Trial 1 still finishes — in-flight work is never interrupted —
+	// and trial 2 is refused at dispatch with the context's error.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	trials := []Trial{
+		{N: 8, K: 4, Algorithm: "single-source", Adversary: "static", Seed: 1},
+		{N: 8, K: 4, Algorithm: "single-source", Adversary: "static", Seed: 2,
+			OnGraph: func(int, *graph.Graph) { cancel() }},
+		{N: 8, K: 4, Algorithm: "single-source", Adversary: "static", Seed: 3},
+	}
+	_, err := Run(ctx, trials, Options{Parallelism: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "trial 2") {
+		t.Fatalf("cancellation should surface at trial 2, got: %v", err)
+	}
+}
+
+func TestRunTrialScenarioResolution(t *testing.T) {
+	r, err := RunTrial(Trial{Scenario: "token-stream", Seed: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := r.Trial
+	if rt.N != 24 || rt.K != 48 || rt.Sources != 1 {
+		t.Fatalf("resolved shape wrong: %+v", rt)
+	}
+	if rt.Algorithm != "topkis" || rt.Adversary != "churn" || rt.Sigma != 3 {
+		t.Fatalf("resolved defaults wrong: %+v", rt)
+	}
+	if len(rt.Arrivals) != 48 || rt.Arrivals[0] != 1 || rt.Arrivals[47] != 24 {
+		t.Fatalf("arrival schedule not materialized: %v", rt.Arrivals)
+	}
+	if !r.Res.Completed {
+		t.Fatalf("token-stream did not complete: %+v", r.Res)
+	}
+	if r.Res.Rounds < 24 {
+		t.Fatalf("completed in round %d, before the last arrival (round 24)", r.Res.Rounds)
+	}
+
+	// Algorithm and adversary overrides cross the workload with other
+	// components; shape overrides are rejected.
+	r, err = RunTrial(Trial{Scenario: "token-stream", Algorithm: "single-source", Adversary: "static", Seed: 1, Arrivals: make([]int, 48)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Trial.Algorithm != "single-source" || r.AdversaryName == "churn" {
+		t.Fatalf("overrides ignored: %+v (adv %s)", r.Trial, r.AdversaryName)
+	}
+	if _, err := RunTrial(Trial{Scenario: "token-stream", N: 10}, nil); err == nil || !strings.Contains(err.Error(), "shape") {
+		t.Fatalf("shape override accepted: %v", err)
+	}
+	if _, err := RunTrial(Trial{Scenario: "no-such"}, nil); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestRunTrialReplayReproducesMetrics(t *testing.T) {
+	base := Trial{N: 12, K: 6, Algorithm: "single-source", Adversary: "churn", Seed: 9}
+	rec := base
+	b := trace.NewBuilder(base.N)
+	rec.OnGraph = func(_ int, g *graph.Graph) { b.Observe(g) }
+	orig, err := RunTrial(rec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := base
+	replayed.Adversary = ""
+	replayed.Replay = b.Trace()
+	got, err := RunTrial(replayed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AdversaryName != "trace-replay" {
+		t.Fatalf("adversary name %q", got.AdversaryName)
+	}
+	if *got.Res != *orig.Res {
+		t.Fatalf("replay diverged from recording:\n rec    %+v\n replay %+v", orig.Res, got.Res)
+	}
+	// A replay trace for the wrong instance size is rejected.
+	bad := base
+	bad.N = 13
+	bad.Replay = b.Trace()
+	if _, err := RunTrial(bad, nil); err == nil || !strings.Contains(err.Error(), "n=12") {
+		t.Fatalf("size mismatch accepted: %v", err)
+	}
+}
+
+func TestGridScenarioAxis(t *testing.T) {
+	g := Grid{
+		Scenarios: []string{"token-stream", "bursty-gossip"},
+		Seeds:     []int64{1, 2},
+	}
+	trials := g.Trials()
+	if len(trials) != 4 {
+		t.Fatalf("got %d trials, want 4", len(trials))
+	}
+	if trials[0].Scenario != "token-stream" || trials[0].Algorithm != "" || trials[3].Scenario != "bursty-gossip" {
+		t.Fatalf("scenario expansion wrong: %+v", trials)
+	}
+	results, err := RunGrid(context.Background(), g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if !r.Res.Completed {
+			t.Fatalf("result %d (%s) incomplete", i, r.Trial)
+		}
+		if r.Trial.K == 0 {
+			t.Fatalf("result %d carries an unresolved trial: %+v", i, r.Trial)
+		}
+	}
+	// Scenario × algorithm crossing.
+	cross := Grid{
+		Scenarios:  []string{"token-stream"},
+		Algorithms: []string{"topkis", "single-source"},
+		Seeds:      []int64{1},
+	}
+	ct := cross.Trials()
+	if len(ct) != 2 || ct[0].Algorithm != "topkis" || ct[1].Algorithm != "single-source" {
+		t.Fatalf("crossed expansion wrong: %+v", ct)
+	}
+	// A scenarios-only grid passes RunGrid's emptiness validation; a fully
+	// empty grid still fails it, and so does a partially specified classic
+	// family riding along with scenarios (it would silently expand to
+	// nothing).
+	if _, err := RunGrid(context.Background(), Grid{}, Options{}); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+	partial := Grid{
+		Ns: []int{8}, Ks: []int{4},
+		Algorithms: []string{"single-source"},
+		Scenarios:  []string{"token-stream"},
+	}
+	if _, err := RunGrid(context.Background(), partial, Options{}); err == nil || !strings.Contains(err.Error(), "Adversaries") {
+		t.Fatalf("partial classic family not rejected: %v", err)
 	}
 }
