@@ -1,0 +1,147 @@
+// Command benchjson runs the repo's tier-1 benchmarks ("go test -bench")
+// and writes the parsed results as one machine-readable JSON document — the
+// perf trajectory artifact (BENCH_PR<n>.json) future PRs diff their numbers
+// against.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson -out BENCH_PR3.json            # full suite, 1 iter
+//	go run ./cmd/benchjson -bench 'Sweep64' -benchtime 3x # one family
+//
+// The tool shells out to the go toolchain in the current module, so it
+// needs no dependencies beyond what builds the repo.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark function name without the -GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS the benchmark ran with.
+	Procs int `json:"procs"`
+	// Iterations is testing.B's iteration count.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value for every reported measure (ns/op, B/op,
+	// allocs/op, plus custom b.ReportMetric units like rows/op, msgs/token).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Document is the written artifact.
+type Document struct {
+	GoVersion string      `json:"go_version"`
+	GOOS      string      `json:"goos"`
+	GOARCH    string      `json:"goarch"`
+	CPUs      int         `json:"cpus"`
+	Bench     string      `json:"bench"`
+	Benchtime string      `json:"benchtime"`
+	Packages  string      `json:"packages"`
+	Benches   []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		bench     = flag.String("bench", ".", "benchmark regexp passed to -bench")
+		benchtime = flag.String("benchtime", "1x", "passed to -benchtime")
+		pkgs      = flag.String("packages", "./...", "package pattern to benchmark")
+		out       = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", *bench, "-benchtime", *benchtime, "-benchmem", *pkgs)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fatalf("go test -bench: %v", err)
+	}
+	benches, err := parse(string(raw))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(benches) == 0 {
+		fatalf("no benchmark lines in go test output")
+	}
+
+	doc := Document{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Bench:     *bench,
+		Benchtime: *benchtime,
+		Packages:  *pkgs,
+		Benches:   benches,
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fatalf("%v", err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(benches), *out)
+	}
+}
+
+// parse extracts benchmark result lines from go test output. A line looks
+// like:
+//
+//	BenchmarkSweep64Serial-8   	       1	  53160383 ns/op	 1116248 B/op	    4486 allocs/op	        64.00 trials/op
+func parse(out string) ([]Benchmark, error) {
+	var benches []Benchmark
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name, procs := splitProcs(fields[0])
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. a "Benchmark... --- SKIP" line
+		}
+		b := Benchmark{Name: name, Procs: procs, Iterations: iters, Metrics: map[string]float64{}}
+		// The rest is (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad value %q in line %q", fields[i], line)
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		benches = append(benches, b)
+	}
+	return benches, nil
+}
+
+// splitProcs splits "BenchmarkFoo-8" into ("BenchmarkFoo", 8).
+func splitProcs(s string) (string, int) {
+	if i := strings.LastIndexByte(s, '-'); i > 0 {
+		if p, err := strconv.Atoi(s[i+1:]); err == nil {
+			return s[:i], p
+		}
+	}
+	return s, 1
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Command spreadd is the simulation daemon: a long-running HTTP service
+// that accepts k-token dissemination trial and sweep jobs as JSON, executes
+// them on a bounded job queue over the parallel sweep pool, and serves
+// machine-readable results backed by a content-addressed run cache (see
+// internal/service for the API).
+//
+// Quick start:
+//
+//	spreadd -addr :8080 &
+//	curl -s localhost:8080/v1/catalog | head
+//	curl -s -X POST localhost:8080/v1/runs -d '{
+//	  "trials": [{"n": 32, "k": 32, "algorithm": "single-source",
+//	              "adversary": "churn", "seed": 1}]
+//	}'
+//	curl -s localhost:8080/v1/stats
+//
+// Small jobs answer synchronously; large ones return 202 with a
+// /v1/jobs/{id} to poll. SIGINT/SIGTERM shut the daemon down gracefully:
+// the listener stops, in-flight jobs drain (bounded by -drain-timeout, after
+// which they are cancelled), and the process exits cleanly.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dynspread/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		parallelism  = flag.Int("parallelism", 0, "sweep workers per job (0 = GOMAXPROCS)")
+		queueDepth   = flag.Int("queue", 64, "max queued jobs before submissions get 503")
+		jobWorkers   = flag.Int("job-workers", 2, "jobs executed concurrently")
+		cacheSize    = flag.Int("cache", 4096, "run-cache capacity in results")
+		syncLimit    = flag.Int("sync-limit", 16, "largest job answered synchronously")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Parallelism:    *parallelism,
+		QueueDepth:     *queueDepth,
+		JobWorkers:     *jobWorkers,
+		CacheSize:      *cacheSize,
+		SyncTrialLimit: *syncLimit,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("spreadd: serving on %s (queue %d, %d job workers, cache %d)",
+		*addr, *queueDepth, *jobWorkers, *cacheSize)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("spreadd: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("spreadd: shutting down, draining for up to %s", *drainTimeout)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("spreadd: http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(drainCtx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("spreadd: drain timed out, in-flight jobs cancelled")
+		} else {
+			log.Printf("spreadd: drain: %v", err)
+		}
+	}
+	fmt.Println("spreadd: bye")
+}

@@ -7,13 +7,18 @@
 //	spreadsim -scenario token-stream -seed 3       # registered workload
 //	spreadsim -scenario quickstart -record run.jsonl
 //	spreadsim -replay run.jsonl -alg single-source # replay recorded dynamics
+//	spreadsim -scenario streaming -json            # machine-readable result
 //	spreadsim -list   # print every registered algorithm, adversary, scenario
 //
 // Algorithms, adversaries, and scenarios are resolved through their
 // registries; -list shows everything the binary was built with. -record
 // writes the run's per-round edge events as JSONL; -replay substitutes such
 // a trace for the adversary, reproducing the recorded topology exactly (and,
-// with the same algorithm and seed, the recorded metrics).
+// with the same algorithm and seed, the recorded metrics). -json emits one
+// JSON object on stdout — the resolved trial plus its metrics, in the same
+// per-trial result schema the spreadd service returns (see
+// internal/service), so scripted pipelines can consume either
+// interchangeably.
 package main
 
 import (
@@ -40,7 +45,7 @@ func main() {
 		sigma     = flag.Int("sigma", 3, "edge stability for the churn adversary")
 		record    = flag.String("record", "", "write the run's dynamics as a JSONL graph trace to this file")
 		replay    = flag.String("replay", "", "replay a JSONL graph trace as the dynamics (overrides -adv)")
-		asJSON    = flag.Bool("json", false, "emit the report as JSON")
+		asJSON    = flag.Bool("json", false, "emit one JSON object: resolved trial + metrics (the spreadd TrialResult schema)")
 		list      = flag.Bool("list", false, "list registered algorithms, adversaries, and scenarios, then exit")
 	)
 	flag.Parse()
@@ -106,6 +111,33 @@ func main() {
 		cfg.Replay = tr
 	}
 
+	if *asJSON {
+		// One JSON object on stdout: the resolved trial plus metrics, in the
+		// spreadd service's per-trial result schema (dynspread.TrialResult).
+		var (
+			res *dynspread.TrialResult
+			err error
+		)
+		if *record != "" {
+			var tr *dynspread.GraphTrace
+			res, tr, err = dynspread.RunFullRecorded(cfg)
+			if err == nil {
+				err = writeTrace(*record, tr)
+			}
+		} else {
+			res, err = dynspread.RunFull(cfg)
+		}
+		if err != nil {
+			fatalf("%v", err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+
 	var (
 		rep *dynspread.Report
 		err error
@@ -121,15 +153,6 @@ func main() {
 	}
 	if err != nil {
 		fatalf("%v", err)
-	}
-
-	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(rep); err != nil {
-			fatalf("%v", err)
-		}
-		return
 	}
 	if *scen != "" {
 		fmt.Printf("scenario       %s\n", *scen)

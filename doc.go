@@ -29,7 +29,12 @@
 //     traces (record any run's dynamics, replay them bit-exactly),
 //   - internal/sweep — declarative trial grids (including a scenarios axis)
 //     executed on a context-cancellable worker pool sized to GOMAXPROCS
-//     with per-worker buffer reuse, and
+//     with per-worker buffer reuse and a per-result progress hook,
+//   - internal/service — the simulation service behind cmd/spreadd: an HTTP
+//     daemon scheduling trial/sweep jobs (this package's wire types —
+//     TrialSpec, GridSpec, RunRequest, TrialResult) on a bounded queue over
+//     the sweep pool, with a content-addressed LRU run cache so repeated
+//     requests cost zero simulation work, and
 //   - internal/experiments — the harness that regenerates every table and
 //     figure (see EXPERIMENTS.md).
 //
@@ -56,7 +61,10 @@
 // components registered by other packages are selectable here too. Record
 // any run's dynamics with RunRecorded and replay the returned GraphTrace
 // through Config.Replay for bit-exact reproduction. For thousands of
-// trials, use internal/sweep's grids instead of calling Run in a loop.
+// trials, use internal/sweep's grids instead of calling Run in a loop; to
+// serve simulations over HTTP with result caching, run cmd/spreadd (see
+// the README's curl quickstart). RunFull and RunSpecs produce the service's
+// machine-readable TrialResult schema in-process.
 //
 // See the examples/ directory for runnable scenarios and cmd/ for the CLI
 // tools (spreadsim -list prints every registered component).

@@ -175,7 +175,25 @@ type Report struct {
 // layer's single trial runner), so components registered by other packages
 // work here too.
 func Run(cfg Config) (*Report, error) {
-	return run(cfg, nil)
+	r, err := run(cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	return report(r.Res, r.Trial.K, r.AdversaryName), nil
+}
+
+// RunFull executes one simulation and returns the service-schema result:
+// the RESOLVED trial (scenario names expanded into their concrete shape,
+// algorithm, dynamics, and arrival schedule) paired with the engine
+// metrics — the same JSON object the spreadd service returns per trial and
+// spreadsim -json prints.
+func RunFull(cfg Config) (*TrialResult, error) {
+	r, err := run(cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	tr := trialResult(r)
+	return &tr, nil
 }
 
 // RunRecorded executes one simulation and additionally records its dynamics
@@ -183,29 +201,47 @@ func Run(cfg Config) (*Report, error) {
 // returned trace (live adversary replaced by the recording) reproduces the
 // execution — including its Metrics — exactly.
 func RunRecorded(cfg Config) (*Report, *GraphTrace, error) {
+	r, tr, err := runRecorded(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return report(r.Res, r.Trial.K, r.AdversaryName), tr, nil
+}
+
+// RunFullRecorded is RunRecorded with the service-schema result of RunFull.
+func RunFullRecorded(cfg Config) (*TrialResult, *GraphTrace, error) {
+	r, gt, err := runRecorded(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := trialResult(r)
+	return &res, gt, nil
+}
+
+func runRecorded(cfg Config) (sweep.Result, *GraphTrace, error) {
 	var b *trace.Builder
-	rep, err := run(cfg, func(_ int, g *graph.Graph) {
+	r, err := run(cfg, func(_ int, g *graph.Graph) {
 		if b == nil {
 			b = trace.NewBuilder(g.N())
 		}
 		b.Observe(g)
 	})
 	if err != nil {
-		return nil, nil, err
+		return r, nil, err
 	}
 	if b == nil { // degenerate zero-round completion
-		return rep, &GraphTrace{N: cfg.N}, nil
+		return r, &GraphTrace{N: r.Trial.N}, nil
 	}
-	return rep, b.Trace(), nil
+	return r, b.Trace(), nil
 }
 
-func run(cfg Config, onGraph func(r int, g *graph.Graph)) (*Report, error) {
+func run(cfg Config, onGraph func(r int, g *graph.Graph)) (sweep.Result, error) {
 	if cfg.Scenario == "" {
 		if cfg.N < 2 {
-			return nil, fmt.Errorf("dynspread: need N >= 2, got %d", cfg.N)
+			return sweep.Result{}, fmt.Errorf("dynspread: need N >= 2, got %d", cfg.N)
 		}
 		if cfg.K < 1 {
-			return nil, fmt.Errorf("dynspread: need K >= 1, got %d", cfg.K)
+			return sweep.Result{}, fmt.Errorf("dynspread: need K >= 1, got %d", cfg.K)
 		}
 	}
 	algName := string(cfg.Algorithm)
@@ -216,7 +252,9 @@ func run(cfg Config, onGraph func(r int, g *graph.Graph)) (*Report, error) {
 		if algName == "" {
 			algName = string(AlgSingleSource)
 		}
-		if advName == "" {
+		// A replay ignores the adversary entirely; leaving the name blank
+		// keeps resolved trials honest about which dynamics actually ran.
+		if advName == "" && cfg.Replay == nil {
 			advName = string(AdvStatic)
 		}
 	}
@@ -239,9 +277,9 @@ func run(cfg Config, onGraph func(r int, g *graph.Graph)) (*Report, error) {
 		OnGraph:   onGraph,
 	}, cfg.Workspace)
 	if err != nil {
-		return nil, fmt.Errorf("dynspread: %w", err)
+		return r, fmt.Errorf("dynspread: %w", err)
 	}
-	return report(r.Res, r.Trial.K, r.AdversaryName), nil
+	return r, nil
 }
 
 func report(res *sim.Result, k int, advName string) *Report {

@@ -11,6 +11,7 @@ package registry
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 
 	"dynspread/internal/sim"
@@ -45,6 +46,41 @@ func (m Mode) String() string {
 	default:
 		return "none"
 	}
+}
+
+// ParseMode inverts Mode.String.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "unicast":
+		return Unicast, nil
+	case "broadcast":
+		return Broadcast, nil
+	case "unicast|broadcast":
+		return Unicast | Broadcast, nil
+	case "none":
+		return 0, nil
+	}
+	return 0, fmt.Errorf("registry: unknown mode %q", s)
+}
+
+// MarshalJSON serializes the mode as its String form, so catalog listings
+// (spreadd's /v1/catalog) carry "unicast" rather than a bitmask.
+func (m Mode) MarshalJSON() ([]byte, error) {
+	return []byte(strconv.Quote(m.String())), nil
+}
+
+// UnmarshalJSON inverts MarshalJSON.
+func (m *Mode) UnmarshalJSON(b []byte) error {
+	s, err := strconv.Unquote(string(b))
+	if err != nil {
+		return fmt.Errorf("registry: mode must be a JSON string: %w", err)
+	}
+	parsed, err := ParseMode(s)
+	if err != nil {
+		return err
+	}
+	*m = parsed
+	return nil
 }
 
 // Params carries the per-run knobs a builder may consult. Builders must

@@ -1,6 +1,8 @@
 package registry
 
 import (
+	"encoding/json"
+	"sort"
 	"strings"
 	"testing"
 
@@ -77,6 +79,60 @@ func TestRegisterAdversaryModeMask(t *testing.T) {
 		}
 	}()
 	RegisterAdversary(Adversary{Name: "broken-adv", Modes: Unicast | Broadcast, Unicast: fakeAdvBuilder})
+}
+
+// TestListingsSorted pins the listing order: Algorithms and Adversaries
+// return name-sorted slices, so every consumer (spreadsim -list, spreadd's
+// /v1/catalog, cache-key derivations) sees one deterministic order. The
+// builtin name lists themselves are pinned where the builtins are linked in
+// (internal/service's catalog test).
+func TestListingsSorted(t *testing.T) {
+	RegisterAlgorithm(Algorithm{Name: "zz-order-probe", Mode: Unicast, Unicast: fakeUnicastBuilder})
+	RegisterAlgorithm(Algorithm{Name: "aa-order-probe", Mode: Unicast, Unicast: fakeUnicastBuilder})
+	algs := Algorithms()
+	if !sort.SliceIsSorted(algs, func(i, j int) bool { return algs[i].Name < algs[j].Name }) {
+		t.Fatalf("Algorithms() not sorted: %v", names(algs, func(a Algorithm) string { return a.Name }))
+	}
+	RegisterAdversary(Adversary{Name: "zz-order-probe", Modes: Unicast, Unicast: fakeAdvBuilder})
+	RegisterAdversary(Adversary{Name: "aa-order-probe", Modes: Unicast, Unicast: fakeAdvBuilder})
+	advs := Adversaries()
+	if !sort.SliceIsSorted(advs, func(i, j int) bool { return advs[i].Name < advs[j].Name }) {
+		t.Fatalf("Adversaries() not sorted: %v", names(advs, func(a Adversary) string { return a.Name }))
+	}
+}
+
+func names[T any](xs []T, name func(T) string) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = name(x)
+	}
+	return out
+}
+
+func TestModeJSONRoundTrip(t *testing.T) {
+	for _, m := range []Mode{Unicast, Broadcast, Unicast | Broadcast, 0} {
+		b, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := `"` + m.String() + `"`; string(b) != want {
+			t.Fatalf("marshal %v = %s, want %s", m, b, want)
+		}
+		var back Mode
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != m {
+			t.Fatalf("round trip %v -> %v", m, back)
+		}
+	}
+	var m Mode
+	if err := json.Unmarshal([]byte(`"warp"`), &m); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	if err := json.Unmarshal([]byte(`3`), &m); err == nil {
+		t.Fatal("numeric mode accepted")
+	}
 }
 
 func TestModeString(t *testing.T) {

@@ -97,6 +97,39 @@ func (s Spec) ArrivalRounds(seed int64) ([]int, error) {
 	return rounds, nil
 }
 
+// Info is the JSON-serializable catalog entry for a scenario, as served by
+// spreadd's /v1/catalog. It carries the derived listing strings (dynamics,
+// schedule) instead of the live Trace/Schedule values, so it marshals
+// cleanly and stays stable across seeds.
+type Info struct {
+	Name             string `json:"name"`
+	Doc              string `json:"doc"`
+	N                int    `json:"n"`
+	K                int    `json:"k"`
+	Sources          int    `json:"sources"`
+	DefaultAlgorithm string `json:"default_algorithm"`
+	Dynamics         string `json:"dynamics"`
+	Schedule         string `json:"schedule"`
+	Sigma            int    `json:"sigma,omitempty"`
+	MaxRounds        int    `json:"max_rounds,omitempty"`
+}
+
+// Info derives the spec's catalog entry.
+func (s Spec) Info() Info {
+	return Info{
+		Name:             s.Name,
+		Doc:              s.Doc,
+		N:                s.N,
+		K:                s.K,
+		Sources:          s.NumSources(),
+		DefaultAlgorithm: s.DefaultAlgorithm,
+		Dynamics:         s.DynamicsName(),
+		Schedule:         s.ScheduleName(),
+		Sigma:            s.Sigma,
+		MaxRounds:        s.MaxRounds,
+	}
+}
+
 // validate reports whether the spec is registrable.
 func (s Spec) validate() error {
 	if s.Name == "" {

@@ -42,6 +42,23 @@ func TestRegisterLookupScenarios(t *testing.T) {
 	}
 }
 
+func TestSpecInfoDerivation(t *testing.T) {
+	spec, err := LookupScenario("token-stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := spec.Info()
+	if info.Name != "token-stream" || info.N != spec.N || info.K != spec.K {
+		t.Fatalf("info = %+v", info)
+	}
+	if info.Sources != spec.NumSources() || info.Dynamics != spec.DynamicsName() || info.Schedule != spec.ScheduleName() {
+		t.Fatalf("derived fields wrong: %+v", info)
+	}
+	if info.DefaultAlgorithm != spec.DefaultAlgorithm || info.Doc == "" {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
 func expectPanic(t *testing.T, want string, f func()) {
 	t.Helper()
 	defer func() {

@@ -1,0 +1,120 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+
+	"dynspread"
+)
+
+// Key returns the content address of one trial: the SHA-256 of the
+// normalized spec's canonical JSON encoding. encoding/json marshals struct
+// fields in declared order, so the encoding — and therefore the key — is a
+// deterministic function of the spec, and every execution is a
+// deterministic function of its spec (ROADMAP's "same inputs, same
+// metrics"), which is what makes cached results safe to serve verbatim.
+func Key(spec dynspread.TrialSpec) string {
+	b, err := json.Marshal(spec.Normalized())
+	if err != nil {
+		// A TrialSpec is plain data; marshaling cannot fail.
+		panic("service: marshal trial spec: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// CacheStats is the wire form of the cache counters in /v1/stats.
+type CacheStats struct {
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Size     int   `json:"size"`
+	Capacity int   `json:"capacity"`
+}
+
+// Cache is the content-addressed run cache: canonical-spec key → completed
+// trial result, LRU-bounded, safe for concurrent use. Repeated requests for
+// a spec already served cost a map lookup instead of a simulation.
+type Cache struct {
+	hits, misses atomic.Int64
+
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res dynspread.TrialResult
+}
+
+// NewCache returns a cache bounded to capacity entries (capacity < 1 is
+// clamped to 1).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// Get looks the key up, marking the entry most recently used and counting a
+// hit or a miss.
+func (c *Cache) Get(key string) (dynspread.TrialResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Add(1)
+		return dynspread.TrialResult{}, false
+	}
+	c.hits.Add(1)
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Put stores res under key, evicting the least recently used entry when the
+// cache is full. Storing an existing key refreshes its recency.
+func (c *Cache) Put(key string, res dynspread.TrialResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	for c.ll.Len() >= c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	size := c.ll.Len()
+	capacity := c.cap
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		Size:     size,
+		Capacity: capacity,
+	}
+}

@@ -1,0 +1,87 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+
+	"dynspread"
+)
+
+func TestKeyIsDeterministicAndDiscriminating(t *testing.T) {
+	a := dynspread.TrialSpec{N: 16, K: 8, Algorithm: "single-source", Adversary: "churn", Seed: 1}
+	if Key(a) != Key(a) {
+		t.Fatal("same spec hashed to different keys")
+	}
+	// Normalization: an explicit default source count shares the entry.
+	explicit := a
+	explicit.Sources = 1
+	if Key(a) != Key(explicit) {
+		t.Fatal("sources=0 and sources=1 must share a key for classic trials")
+	}
+	distinct := []dynspread.TrialSpec{a}
+	for _, mutate := range []func(*dynspread.TrialSpec){
+		func(s *dynspread.TrialSpec) { s.Seed = 2 },
+		func(s *dynspread.TrialSpec) { s.K = 9 },
+		func(s *dynspread.TrialSpec) { s.Algorithm = "topkis" },
+		func(s *dynspread.TrialSpec) { s.Adversary = "static" },
+		func(s *dynspread.TrialSpec) { s.Sigma = 5 },
+		func(s *dynspread.TrialSpec) { s.Arrivals = []int{0, 0, 0, 0, 1, 1, 1, 1} },
+	} {
+		v := a
+		mutate(&v)
+		distinct = append(distinct, v)
+	}
+	seen := map[string]int{}
+	for i, s := range distinct {
+		k := Key(s)
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("specs %d and %d collide: %+v vs %+v", prev, i, distinct[prev], s)
+		}
+		seen[k] = i
+	}
+}
+
+func TestCacheLRUEvictionAndCounters(t *testing.T) {
+	c := NewCache(2)
+	res := func(rounds int) dynspread.TrialResult {
+		return dynspread.TrialResult{Rounds: rounds, Completed: true}
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("a", res(1))
+	c.Put("b", res(2))
+	if got, ok := c.Get("a"); !ok || got.Rounds != 1 {
+		t.Fatalf("a: %+v %v", got, ok)
+	}
+	// a is now most recent; inserting c evicts b.
+	c.Put("c", res(3))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted out of LRU order")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 2 || st.Size != 2 || st.Capacity != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Re-putting a key refreshes in place without growing.
+	c.Put("a", res(9))
+	if got, _ := c.Get("a"); got.Rounds != 9 || c.Len() != 2 {
+		t.Fatalf("refresh failed: %+v len=%d", got, c.Len())
+	}
+}
+
+func TestCacheCapacityClamp(t *testing.T) {
+	c := NewCache(0)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprint(i), dynspread.TrialResult{Rounds: i})
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+}

@@ -1,0 +1,126 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"dynspread"
+)
+
+// Client is a small Go client for the spreadd API; the end-to-end suite
+// drives the server through it. The zero value is not usable — set BaseURL.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080" (no /v1).
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		var eb errorBody
+		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
+			return resp.StatusCode, fmt.Errorf("service: %s %s: %s (HTTP %d)", method, path, eb.Error, resp.StatusCode)
+		}
+		return resp.StatusCode, fmt.Errorf("service: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, fmt.Errorf("service: decode %s %s response: %w", method, path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// Run submits a run request. Small jobs come back completed (state "done",
+// results populated); queued jobs come back state "queued" — follow up with
+// Job or WaitJob.
+func (c *Client) Run(ctx context.Context, req dynspread.RunRequest) (JobStatus, error) {
+	var st JobStatus
+	_, err := c.do(ctx, http.MethodPost, "/v1/runs", req, &st)
+	return st, err
+}
+
+// Job fetches a job's status and progress.
+func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	_, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// WaitJob polls a job until it reaches a terminal state (done, failed,
+// canceled) or ctx expires. poll <= 0 defaults to 50ms.
+func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (JobStatus, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		switch st.State {
+		case JobDone, JobFailed, JobCanceled:
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Catalog fetches the registered algorithms, adversaries, and scenarios.
+func (c *Client) Catalog(ctx context.Context) (Catalog, error) {
+	var cat Catalog
+	_, err := c.do(ctx, http.MethodGet, "/v1/catalog", nil, &cat)
+	return cat, err
+}
+
+// Stats fetches the server counters.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var st Stats
+	_, err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st)
+	return st, err
+}
+
+// Health checks /v1/healthz.
+func (c *Client) Health(ctx context.Context) error {
+	_, err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil)
+	return err
+}

@@ -1,0 +1,131 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dynspread"
+)
+
+// JobState is the lifecycle of one submitted job.
+type JobState string
+
+// Job lifecycle: Queued → Running → Done | Failed; jobs still queued when
+// the server shuts down become Canceled.
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// JobStatus is the wire form of a job: the body of GET /v1/jobs/{id} and of
+// both POST /v1/runs responses (synchronous 200 with results, queued 202
+// without). Completed counts trials with a result so far — cache hits
+// complete instantly, simulated trials as the sweep pool reports them — so
+// Completed/Total is live progress.
+type JobStatus struct {
+	ID          string                  `json:"id"`
+	State       JobState                `json:"state"`
+	Total       int                     `json:"total"`
+	Completed   int                     `json:"completed"`
+	CacheHits   int                     `json:"cache_hits"`
+	CacheMisses int                     `json:"cache_misses"`
+	Error       string                  `json:"error,omitempty"`
+	Results     []dynspread.TrialResult `json:"results,omitempty"`
+}
+
+// job is one unit on the queue: a batch of specs with live progress.
+type job struct {
+	id    string
+	specs []dynspread.TrialSpec
+
+	completed              atomic.Int64
+	cacheHits, cacheMisses atomic.Int64
+
+	// release fires exactly once when the job terminates (run, canceled, or
+	// dropped), balancing the server's jobWG.Add made at submission.
+	release sync.Once
+
+	mu      sync.Mutex
+	state   JobState
+	err     error
+	results []dynspread.TrialResult
+	done    chan struct{}
+}
+
+func newJob(id string, specs []dynspread.TrialSpec) *job {
+	return &job{
+		id:      id,
+		specs:   specs,
+		state:   JobQueued,
+		results: make([]dynspread.TrialResult, len(specs)),
+		done:    make(chan struct{}),
+	}
+}
+
+func (j *job) setRunning() {
+	j.mu.Lock()
+	j.state = JobRunning
+	j.mu.Unlock()
+}
+
+// finish moves the job to its terminal state. The sweep pool has fully
+// drained by the time finish is called, so publishing results under the
+// mutex gives status readers a consistent view.
+func (j *job) finish(err error) {
+	j.mu.Lock()
+	switch {
+	case err == nil:
+		j.state = JobDone
+	default:
+		j.state = JobFailed
+		j.err = err
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// cancel marks a job that was dequeued-for-drop or never dequeued.
+func (j *job) cancel(err error) {
+	j.mu.Lock()
+	j.state = JobCanceled
+	j.err = err
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// Status snapshots the job. Results are exposed only in terminal states:
+// while the job runs they are being written by pool workers.
+func (j *job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:          j.id,
+		State:       j.state,
+		Total:       len(j.specs),
+		Completed:   int(j.completed.Load()),
+		CacheHits:   int(j.cacheHits.Load()),
+		CacheMisses: int(j.cacheMisses.Load()),
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if j.state == JobDone {
+		st.Results = j.results
+	}
+	return st
+}
+
+// errValue returns the job's terminal error, if any.
+func (j *job) errValue() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+func (j *job) String() string {
+	return fmt.Sprintf("job %s (%d trials)", j.id, len(j.specs))
+}

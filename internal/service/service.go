@@ -1,0 +1,465 @@
+// Package service is the simulation-service layer behind cmd/spreadd: a
+// long-running HTTP daemon that serves conf_icdcs_AhmadiKKMP19's k-token
+// dissemination simulations to many concurrent clients. Jobs arrive as JSON
+// (dynspread.RunRequest — trials and grids naming algorithms, adversaries,
+// and scenarios by registry name), are scheduled on a bounded job queue
+// whose workers execute trials on the context-cancellable sweep pool, and
+// return dynspread.TrialResult values. Because every run is a deterministic
+// function of its resolved spec, results are kept in a content-addressed
+// LRU cache (canonical-JSON key, see Key) so repeated requests cost zero
+// simulation work.
+//
+// Endpoints (all under /v1):
+//
+//	POST /v1/runs      submit trials/a grid; small jobs run synchronously
+//	                   (200 + results) while a sync slot is free, large,
+//	                   Async, or slot-starved ones queue (202 + Location:
+//	                   /v1/jobs/{id})
+//	GET  /v1/jobs/{id} job status with live completed/total progress
+//	GET  /v1/catalog   registered algorithms, adversaries, and scenarios
+//	GET  /v1/healthz   liveness
+//	GET  /v1/stats     queue depth, busy workers, job counts, cache counters
+//
+// Shutdown drains in-flight jobs via context cancellation: the sweep pool
+// stops dispatching new trials, in-flight trials finish, and every worker
+// goroutine exits before Shutdown returns.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"dynspread"
+	"dynspread/internal/registry"
+	"dynspread/internal/scenario"
+)
+
+// Config sizes the server. Zero values select the documented defaults.
+type Config struct {
+	// Parallelism is the sweep-pool worker count per job (<= 0 selects
+	// GOMAXPROCS).
+	Parallelism int
+	// QueueDepth bounds the number of queued-but-not-running jobs; a full
+	// queue refuses submissions with 503 (default 64).
+	QueueDepth int
+	// JobWorkers is the number of queued jobs executed concurrently; it also
+	// sizes the synchronous-execution slots, so at most 2×JobWorkers sweep
+	// pools ever run at once (default 2).
+	JobWorkers int
+	// CacheSize bounds the run cache in entries (default 4096).
+	CacheSize int
+	// SyncTrialLimit is the largest job POST /v1/runs executes synchronously;
+	// bigger jobs are queued and answered 202 (default 16).
+	SyncTrialLimit int
+	// JobHistory bounds how many finished jobs stay addressable via
+	// GET /v1/jobs/{id}; older terminal jobs are forgotten (default 1024).
+	JobHistory int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = 2
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 4096
+	}
+	if c.SyncTrialLimit <= 0 {
+		c.SyncTrialLimit = 16
+	}
+	if c.JobHistory <= 0 {
+		c.JobHistory = 1024
+	}
+	return c
+}
+
+// Stats is the body of GET /v1/stats.
+type Stats struct {
+	QueueDepth    int              `json:"queue_depth"`
+	QueueCapacity int              `json:"queue_capacity"`
+	JobWorkers    int              `json:"job_workers"`
+	BusyWorkers   int              `json:"busy_workers"`
+	JobsByState   map[JobState]int `json:"jobs_by_state"`
+	Cache         CacheStats       `json:"cache"`
+}
+
+// Server is the simulation service.
+type Server struct {
+	cfg   Config
+	cache *Cache
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	quit   chan struct{}
+	queue  chan *job
+	// syncSem bounds inline (synchronous) job execution to JobWorkers slots
+	// so a burst of small POSTs cannot oversubscribe the host: when no slot
+	// is free the job spills to the queue and the client gets 202.
+	syncSem chan struct{}
+
+	workerWG sync.WaitGroup // queue workers
+	jobWG    sync.WaitGroup // every runJob, inline or queued
+	busy     atomic.Int64
+
+	mu      sync.Mutex
+	closed  bool
+	nextID  int
+	jobs    map[string]*job
+	retired []string // terminal job IDs, oldest first, capped at JobHistory
+}
+
+// New starts a server: cfg.JobWorkers goroutines consuming the job queue.
+// Callers must Shutdown it to release them.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		cache:   NewCache(cfg.CacheSize),
+		ctx:     ctx,
+		cancel:  cancel,
+		quit:    make(chan struct{}),
+		queue:   make(chan *job, cfg.QueueDepth),
+		syncSem: make(chan struct{}, cfg.JobWorkers),
+		jobs:    make(map[string]*job),
+	}
+	for w := 0; w < cfg.JobWorkers; w++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case j := <-s.queue:
+			s.busy.Add(1)
+			s.runJob(j)
+			s.busy.Add(-1)
+		}
+	}
+}
+
+// runJob executes one job: cached specs complete instantly, the rest run on
+// the sweep pool, each completion streamed into the job's progress counter
+// and stored in the cache. Duplicate specs within one job are simulated
+// once — every instance of a key shares the single execution's result (each
+// instance still counts as its own cache miss, since none was served from
+// the cache).
+func (s *Server) runJob(j *job) {
+	defer s.release(j)
+	j.setRunning()
+	var (
+		missSpecs []dynspread.TrialSpec
+		missKeys  []string
+		missByKey = map[string][]int{}
+	)
+	for i, spec := range j.specs {
+		key := Key(spec)
+		if res, ok := s.cache.Get(key); ok {
+			j.results[i] = res
+			j.completed.Add(1)
+			j.cacheHits.Add(1)
+			continue
+		}
+		j.cacheMisses.Add(1)
+		if _, dup := missByKey[key]; !dup {
+			missSpecs = append(missSpecs, spec)
+			missKeys = append(missKeys, key)
+		}
+		missByKey[key] = append(missByKey[key], i)
+	}
+	if len(missSpecs) > 0 {
+		_, err := dynspread.RunSpecs(s.ctx, missSpecs, s.cfg.Parallelism,
+			func(mi int, r dynspread.TrialResult) {
+				key := missKeys[mi]
+				s.cache.Put(key, r)
+				for _, i := range missByKey[key] {
+					j.results[i] = r
+					j.completed.Add(1)
+				}
+			})
+		if err != nil {
+			j.finish(err)
+			s.retire(j)
+			return
+		}
+	}
+	j.finish(nil)
+	s.retire(j)
+}
+
+// submit registers a job under a fresh ID and accounts it in jobWG — the
+// Add happens under the same mutex that gates closed, so it can never race
+// Shutdown's Wait. It fails once the server is shutting down.
+func (s *Server) submit(specs []dynspread.TrialSpec) (*job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errServerClosed
+	}
+	s.nextID++
+	j := newJob(fmt.Sprintf("j%06d", s.nextID), specs)
+	s.jobs[j.id] = j
+	s.jobWG.Add(1)
+	return j, nil
+}
+
+// release balances submit's jobWG.Add, exactly once per job.
+func (s *Server) release(j *job) { j.release.Do(s.jobWG.Done) }
+
+// enqueue hands a job to the queue workers. Holding the mutex while sending
+// (non-blocking) makes "closed" and "in the queue" mutually exclusive:
+// after Shutdown sets closed no job can slip into the queue behind the
+// drain, so the drain's final sweep really sees every queued job.
+func (s *Server) enqueue(j *job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errServerClosed
+	}
+	select {
+	case s.queue <- j:
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// retire records a job's terminal transition, bounding how many finished
+// jobs (and their result payloads) stay addressable via GET /v1/jobs: the
+// oldest terminal jobs beyond Config.JobHistory are forgotten, so a
+// long-running daemon's memory tracks load, not lifetime request count.
+func (s *Server) retire(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.retired = append(s.retired, j.id)
+	for len(s.retired) > s.cfg.JobHistory {
+		delete(s.jobs, s.retired[0])
+		s.retired = s.retired[1:]
+	}
+}
+
+var (
+	errServerClosed = errors.New("service: server is shutting down")
+	errQueueFull    = errors.New("service: job queue is full")
+)
+
+// Shutdown stops the server: submissions are refused immediately, queue
+// workers finish the job they are on and exit, and still-queued jobs are
+// canceled. If ctx expires before the drain completes, the server's base
+// context is canceled, which makes the sweep pool stop dispatching new
+// trials (in-flight trials finish) and surfaces context.Canceled on the
+// aborted jobs. Every goroutine the server started has exited by the time
+// Shutdown returns; the returned error is ctx's error when the forced path
+// was taken.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if !already {
+		close(s.quit)
+	}
+	drained := make(chan struct{})
+	go func() {
+		s.workerWG.Wait()
+		// Workers are gone; whatever is still queued will never run.
+		for {
+			select {
+			case j := <-s.queue:
+				j.cancel(context.Canceled)
+				s.release(j)
+				s.retire(j)
+			default:
+				// enqueue is gated by closed under the mutex, so the queue
+				// stays empty from here on and jobWG can only shrink.
+				s.jobWG.Wait()
+				close(drained)
+				return
+			}
+		}
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.cancel()
+		<-drained
+	}
+	s.cancel()
+	return err
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats {
+	byState := map[JobState]int{}
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		byState[j.Status().State]++
+	}
+	s.mu.Unlock()
+	return Stats{
+		QueueDepth:    len(s.queue),
+		QueueCapacity: cap(s.queue),
+		JobWorkers:    s.cfg.JobWorkers,
+		BusyWorkers:   int(s.busy.Load()),
+		JobsByState:   byState,
+		Cache:         s.cache.Stats(),
+	}
+}
+
+// Handler returns the /v1 API mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleRuns)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) // a write error means the client went away; nothing to do
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+const maxRequestBytes = 16 << 20 // a grid request is small; 16 MiB is generous
+
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	var req dynspread.RunRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	specs, err := req.Specs()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := s.submit(specs)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	if !req.Async && len(specs) <= s.cfg.SyncTrialLimit {
+		select {
+		case s.syncSem <- struct{}{}:
+			s.busy.Add(1)
+			s.runJob(j)
+			s.busy.Add(-1)
+			<-s.syncSem
+			st := j.Status()
+			switch st.State {
+			case JobDone:
+				writeJSON(w, http.StatusOK, st)
+			default:
+				code := http.StatusBadRequest
+				if errors.Is(j.errValue(), context.Canceled) {
+					code = http.StatusServiceUnavailable
+				}
+				writeJSON(w, code, st)
+			}
+			return
+		default:
+			// Every sync slot is busy: fall through to the queue so inline
+			// execution can never oversubscribe the host.
+		}
+	}
+	if err := s.enqueue(j); err != nil {
+		j.cancel(err)
+		s.release(j)
+		s.retire(j)
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleCatalog(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, BuildCatalog())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// Catalog is the body of GET /v1/catalog: every registered component, each
+// listing sorted by name so the output is deterministic.
+type Catalog struct {
+	Algorithms  []CatalogAlgorithm `json:"algorithms"`
+	Adversaries []CatalogAdversary `json:"adversaries"`
+	Scenarios   []scenario.Info    `json:"scenarios"`
+}
+
+// CatalogAlgorithm describes one registered algorithm.
+type CatalogAlgorithm struct {
+	Name string        `json:"name"`
+	Mode registry.Mode `json:"mode"`
+	Doc  string        `json:"doc"`
+}
+
+// CatalogAdversary describes one registered adversary.
+type CatalogAdversary struct {
+	Name  string        `json:"name"`
+	Modes registry.Mode `json:"modes"`
+	Doc   string        `json:"doc"`
+}
+
+// BuildCatalog snapshots the three registries.
+func BuildCatalog() Catalog {
+	var c Catalog
+	for _, a := range registry.Algorithms() {
+		c.Algorithms = append(c.Algorithms, CatalogAlgorithm{Name: a.Name, Mode: a.Mode, Doc: a.Doc})
+	}
+	for _, a := range registry.Adversaries() {
+		c.Adversaries = append(c.Adversaries, CatalogAdversary{Name: a.Name, Modes: a.Modes, Doc: a.Doc})
+	}
+	for _, sc := range scenario.Scenarios() {
+		c.Scenarios = append(c.Scenarios, sc.Info())
+	}
+	return c
+}

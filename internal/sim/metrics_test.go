@@ -1,0 +1,56 @@
+package sim
+
+import "testing"
+
+func TestCompetitiveEdgeCases(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		m     Metrics
+		alpha float64
+		want  float64
+	}{
+		// α = 0: the residual is the raw message count — the adversary gets
+		// no budget at all.
+		{"alpha zero", Metrics{Messages: 100, TC: 40}, 0, 100},
+		// TC = 0 (a static execution after G_0): the residual equals
+		// Messages for every α, so α cannot hide cost on quiet executions.
+		{"zero TC", Metrics{Messages: 100, TC: 0}, 7, 100},
+		{"zero TC zero messages", Metrics{}, 3, 0},
+		// The paper's 1-competitive case.
+		{"alpha one", Metrics{Messages: 100, TC: 40}, 1, 60},
+		// An over-generous α drives the residual negative: the algorithm
+		// spent less than the adversary's budget.
+		{"negative residual", Metrics{Messages: 10, TC: 40}, 1, -30},
+		// Fractional α.
+		{"fractional alpha", Metrics{Messages: 100, TC: 40}, 0.5, 80},
+	} {
+		if got := tc.m.Competitive(tc.alpha); got != tc.want {
+			t.Errorf("%s: Competitive(%v) = %v, want %v", tc.name, tc.alpha, got, tc.want)
+		}
+	}
+}
+
+func TestAmortizedPerTokenEdgeCases(t *testing.T) {
+	m := Metrics{Messages: 100}
+	for _, tc := range []struct {
+		name string
+		k    int
+		want float64
+	}{
+		// k ≤ 0 is not a valid instance; the measure degrades to 0 instead
+		// of dividing by zero (or flipping sign for negative k).
+		{"k zero", 0, 0},
+		{"k negative", -5, 0},
+		{"k one", 1, 100},
+		{"k divides", 8, 12.5},
+	} {
+		if got := m.AmortizedPerToken(tc.k); got != tc.want {
+			t.Errorf("%s: AmortizedPerToken(%d) = %v, want %v", tc.name, tc.k, got, tc.want)
+		}
+	}
+	// Zero-message executions (degenerate zero-round completions) amortize
+	// to zero for any positive k.
+	if got := (Metrics{}).AmortizedPerToken(3); got != 0 {
+		t.Errorf("zero messages: got %v", got)
+	}
+}

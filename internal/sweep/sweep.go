@@ -28,9 +28,11 @@ type Trial struct {
 	// Scenario, when non-empty, resolves a registered workload: the scenario
 	// supplies N/K/Sources, the dynamics, the arrival schedule, and defaults
 	// for Algorithm/Sigma/MaxRounds/Options. A scenario trial must leave
-	// N/K/Sources zero; Algorithm and Adversary may be set to override the
-	// scenario's defaults (crossing one workload with many algorithms or
-	// alternative dynamics).
+	// N/K/Sources zero — or repeat the scenario's own shape exactly, so a
+	// RESOLVED trial (as returned in Result.Trial or a service TrialResult)
+	// can be fed back in verbatim. Algorithm and Adversary may be set to
+	// override the scenario's defaults (crossing one workload with many
+	// algorithms or alternative dynamics).
 	Scenario string
 	// N and K are the node and token counts; Sources defaults to 1.
 	N, K, Sources int
@@ -85,8 +87,14 @@ func resolveScenario(t Trial) (Trial, error) {
 	if err != nil {
 		return t, err
 	}
-	if t.N != 0 || t.K != 0 || t.Sources != 0 {
-		return t, fmt.Errorf("trial with scenario %q must leave N/K/Sources zero (the scenario defines the shape)", t.Scenario)
+	// The scenario defines the shape: a trial may leave N/K/Sources zero or
+	// repeat the scenario's values verbatim (which is what a resolved trial
+	// round-tripped through the wire schema carries), but never override
+	// them.
+	if (t.N != 0 && t.N != spec.N) || (t.K != 0 && t.K != spec.K) ||
+		(t.Sources != 0 && t.Sources != spec.NumSources()) {
+		return t, fmt.Errorf("trial overrides scenario %q's shape n=%d k=%d s=%d with n=%d k=%d s=%d (the scenario defines the shape)",
+			t.Scenario, spec.N, spec.K, spec.NumSources(), t.N, t.K, t.Sources)
 	}
 	t.N, t.K, t.Sources = spec.N, spec.K, spec.NumSources()
 	if t.Algorithm == "" {
@@ -330,6 +338,17 @@ func RunTrial(t Trial, ws *sim.Workspace) (Result, error) {
 type Options struct {
 	// Parallelism is the worker count; <= 0 selects runtime.GOMAXPROCS(0).
 	Parallelism int
+	// OnResult, when non-nil, is invoked exactly once for every trial that
+	// completes successfully, with the trial's input index and its result,
+	// as soon as the result is available — this is how long-running callers
+	// (the spreadd service's job progress, streaming reporters) observe a
+	// sweep mid-flight. Calls are made from the pool's worker goroutines:
+	// they run concurrently and in completion order, which under
+	// parallelism > 1 is not index order, so the callback must be safe for
+	// concurrent use. Trials that fail, or that are never dispatched because
+	// of an earlier error or a cancelled context, get no call; no call is
+	// made after Run returns.
+	OnResult func(i int, r Result)
 }
 
 // Run executes the trials on a worker pool (sim.ForEach) and returns
@@ -359,6 +378,9 @@ func Run(ctx context.Context, trials []Trial, opts Options) ([]Result, error) {
 				return err
 			}
 			results[i] = r
+			if opts.OnResult != nil {
+				opts.OnResult(i, r)
+			}
 			return nil
 		}
 	})
@@ -368,12 +390,11 @@ func Run(ctx context.Context, trials []Trial, opts Options) ([]Result, error) {
 	return results, nil
 }
 
-// RunGrid expands and runs a grid in one call. A grid whose classic family
-// is partially specified — or that names no scenarios and is missing a
-// required classic dimension — is an error rather than a silent
-// zero-or-fewer-trials-than-intended success. (Algorithms alone does not
-// signal classic intent: it also crosses the Scenarios axis.)
-func RunGrid(ctx context.Context, g Grid, opts Options) ([]Result, error) {
+// Validate rejects a grid that would expand to fewer trials than its author
+// intended: a partially specified classic family, or a grid that names no
+// scenarios and is missing a required classic dimension. (Algorithms alone
+// does not signal classic intent: it also crosses the Scenarios axis.)
+func (g Grid) Validate() error {
 	classicIntended := len(g.Ns) > 0 || len(g.Ks) > 0 || len(g.Sources) > 0 || len(g.Adversaries) > 0
 	if classicIntended || len(g.Scenarios) == 0 {
 		for _, dim := range []struct {
@@ -386,9 +407,18 @@ func RunGrid(ctx context.Context, g Grid, opts Options) ([]Result, error) {
 			{"Adversaries", len(g.Adversaries) == 0},
 		} {
 			if dim.empty {
-				return nil, fmt.Errorf("sweep: grid dimension %s is empty", dim.name)
+				return fmt.Errorf("sweep: grid dimension %s is empty", dim.name)
 			}
 		}
+	}
+	return nil
+}
+
+// RunGrid expands and runs a grid in one call, rejecting grids that fail
+// Validate rather than silently running zero-or-fewer-trials-than-intended.
+func RunGrid(ctx context.Context, g Grid, opts Options) ([]Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
 	}
 	return Run(ctx, g.Trials(), opts)
 }

@@ -7,6 +7,7 @@ import (
 	"dynspread/internal/graph"
 	"dynspread/internal/trace"
 	"strings"
+	"sync"
 	"testing"
 
 	// Trials resolve through the registry, so the bundled components must
@@ -178,6 +179,84 @@ func TestRunCancellationStopsDispatch(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "trial 2") {
 		t.Fatalf("cancellation should surface at trial 2, got: %v", err)
+	}
+}
+
+func TestRunOnResultCoversEveryTrialOnce(t *testing.T) {
+	g := Grid{
+		Ns:          []int{10},
+		Ks:          []int{8},
+		Algorithms:  []string{"single-source", "topkis"},
+		Adversaries: []string{"static"},
+		Seeds:       []int64{1, 2, 3},
+	}
+	trials := g.Trials()
+	var (
+		mu   sync.Mutex
+		seen = map[int]Result{}
+	)
+	results, err := Run(context.Background(), trials, Options{
+		Parallelism: 4,
+		OnResult: func(i int, r Result) {
+			mu.Lock()
+			defer mu.Unlock()
+			if _, dup := seen[i]; dup {
+				t.Errorf("OnResult called twice for trial %d", i)
+			}
+			seen[i] = r
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(trials) {
+		t.Fatalf("OnResult covered %d of %d trials", len(seen), len(trials))
+	}
+	for i, r := range results {
+		if seen[i].Res != r.Res {
+			t.Fatalf("trial %d: OnResult saw a different result than Run returned", i)
+		}
+	}
+}
+
+func TestRunOnResultOrderingUnderCancellation(t *testing.T) {
+	// One worker, so dispatch order is trial order. Trial 1 cancels the
+	// context mid-run: it was already dispatched, so it finishes and its
+	// callback fires; trial 2 is refused at dispatch and must get no
+	// callback. After Run returns, no further callbacks may arrive.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	trials := []Trial{
+		{N: 8, K: 4, Algorithm: "single-source", Adversary: "static", Seed: 1},
+		{N: 8, K: 4, Algorithm: "single-source", Adversary: "static", Seed: 2,
+			OnGraph: func(int, *graph.Graph) { cancel() }},
+		{N: 8, K: 4, Algorithm: "single-source", Adversary: "static", Seed: 3},
+	}
+	var (
+		mu       sync.Mutex
+		order    []int
+		returned bool
+	)
+	_, err := Run(ctx, trials, Options{
+		Parallelism: 1,
+		OnResult: func(i int, _ Result) {
+			mu.Lock()
+			defer mu.Unlock()
+			if returned {
+				t.Errorf("OnResult for trial %d arrived after Run returned", i)
+			}
+			order = append(order, i)
+		},
+	})
+	mu.Lock()
+	returned = true
+	got := append([]int(nil), order...)
+	mu.Unlock()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("callback order = %v, want [0 1] (trial 2 undispatched)", got)
 	}
 }
 

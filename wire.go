@@ -1,0 +1,235 @@
+package dynspread
+
+// The wire schema of the simulation service: exported request/result types
+// shared by the spreadd server (internal/service, cmd/spreadd), its Go
+// client, and spreadsim -json. Everything is registry-name based — a
+// TrialSpec names its algorithm, adversary, and scenario instead of holding
+// them — so the same JSON object describes a run to a remote daemon exactly
+// as it does to an in-process call, and its canonical encoding can serve as
+// a content address for run caching.
+
+import (
+	"context"
+	"fmt"
+
+	"dynspread/internal/sweep"
+)
+
+// TrialSpec is the wire form of one fully specified trial: the JSON schema
+// accepted per-trial by POST /v1/runs and emitted by spreadsim -json.
+// Field semantics match sweep.Trial; zero values mean the documented
+// defaults. Executions are deterministic functions of a TrialSpec, which is
+// what makes specs content-addressable.
+type TrialSpec struct {
+	// Scenario, when non-empty, selects a registered workload supplying the
+	// shape, dynamics, arrival schedule, and defaults; N/K/Sources must stay
+	// zero, and Algorithm/Adversary act as overrides.
+	Scenario string `json:"scenario,omitempty"`
+	// N, K, Sources describe a classic instance (sources defaults to 1).
+	N       int `json:"n,omitempty"`
+	K       int `json:"k,omitempty"`
+	Sources int `json:"sources,omitempty"`
+	// Algorithm and Adversary are registry names.
+	Algorithm string `json:"algorithm,omitempty"`
+	Adversary string `json:"adversary,omitempty"`
+	// Seed derives every random choice of the trial.
+	Seed int64 `json:"seed"`
+	// MaxRounds caps the execution (0 = engine default); Sigma is the churn
+	// stability parameter (0 = default 3); CheckStability > 0 verifies
+	// σ-edge-stability during unicast executions.
+	MaxRounds      int `json:"max_rounds,omitempty"`
+	Sigma          int `json:"sigma,omitempty"`
+	CheckStability int `json:"check_stability,omitempty"`
+	// Arrivals is the explicit per-token injection schedule (entry t = round
+	// token t arrives at its source); nil means all tokens at round 0, or
+	// the scenario's own schedule for scenario trials.
+	Arrivals []int `json:"arrivals,omitempty"`
+	// Replay, in a RESOLVED spec, records that the execution's dynamics were
+	// a recorded graph trace replayed verbatim rather than a live adversary.
+	// The trace itself is not part of the wire schema, so a spec with Replay
+	// set cannot be (re)submitted — replays run in-process via Config.Replay
+	// or through a trace-backed scenario (whose resolved specs stay
+	// submittable: the scenario name reconstructs the trace).
+	Replay bool `json:"replay,omitempty"`
+}
+
+// Normalized returns the spec with wire-level defaults applied (Sources
+// defaulted to 1 for classic trials). Content-addressed caches hash the
+// normalized spec so equivalent requests share a cache entry.
+func (s TrialSpec) Normalized() TrialSpec {
+	if s.Scenario == "" && s.Sources <= 0 {
+		s.Sources = 1
+	}
+	return s
+}
+
+// sweepTrial converts the wire spec into the sweep layer's trial.
+func (s TrialSpec) sweepTrial() sweep.Trial {
+	return sweep.Trial{
+		Scenario: s.Scenario,
+		N:        s.N, K: s.K, Sources: s.Sources,
+		Algorithm:      s.Algorithm,
+		Adversary:      s.Adversary,
+		Seed:           s.Seed,
+		MaxRounds:      s.MaxRounds,
+		Sigma:          s.Sigma,
+		CheckStability: s.CheckStability,
+		Arrivals:       s.Arrivals,
+	}
+}
+
+// specFromTrial converts a RESOLVED sweep trial back into wire form: for
+// scenario trials the shape, algorithm, dynamics, and materialized arrival
+// schedule are concrete, so the result fully describes the execution.
+func specFromTrial(t sweep.Trial) TrialSpec {
+	s := TrialSpec{
+		Scenario: t.Scenario,
+		N:        t.N, K: t.K, Sources: t.Sources,
+		Algorithm:      t.Algorithm,
+		Adversary:      t.Adversary,
+		Seed:           t.Seed,
+		MaxRounds:      t.MaxRounds,
+		Sigma:          t.Sigma,
+		CheckStability: t.CheckStability,
+		Arrivals:       t.Arrivals,
+	}
+	if t.Replay != nil {
+		// The dynamics were a verbatim trace, not the named adversary.
+		s.Adversary = ""
+		// Only a bare replay is irreproducible from the spec; a trace-backed
+		// scenario reconstructs its trace by name.
+		s.Replay = t.Scenario == ""
+	}
+	return s.Normalized()
+}
+
+// GridSpec is the wire form of a sweep grid (see sweep.Grid for the axis
+// semantics): the JSON schema accepted by POST /v1/runs for sweep jobs.
+type GridSpec struct {
+	Ns          []int    `json:"ns,omitempty"`
+	Ks          []int    `json:"ks,omitempty"`
+	Sources     []int    `json:"sources,omitempty"`
+	Algorithms  []string `json:"algorithms,omitempty"`
+	Adversaries []string `json:"adversaries,omitempty"`
+	Scenarios   []string `json:"scenarios,omitempty"`
+	Seeds       []int64  `json:"seeds,omitempty"`
+	MaxRounds   int      `json:"max_rounds,omitempty"`
+	Sigma       int      `json:"sigma,omitempty"`
+}
+
+// Trials validates and expands the grid into wire-form trial specs in the
+// sweep layer's deterministic order.
+func (g GridSpec) Trials() ([]TrialSpec, error) {
+	sg := sweep.Grid{
+		Ns: g.Ns, Ks: g.Ks, Sources: g.Sources,
+		Algorithms:  g.Algorithms,
+		Adversaries: g.Adversaries,
+		Scenarios:   g.Scenarios,
+		Seeds:       g.Seeds,
+		MaxRounds:   g.MaxRounds,
+		Sigma:       g.Sigma,
+	}
+	if err := sg.Validate(); err != nil {
+		return nil, err
+	}
+	trials := sg.Trials()
+	specs := make([]TrialSpec, len(trials))
+	for i, t := range trials {
+		specs[i] = specFromTrial(t)
+	}
+	return specs, nil
+}
+
+// RunRequest is the body of POST /v1/runs: explicit trials, a grid to
+// expand, or both (explicit trials run first).
+type RunRequest struct {
+	Trials []TrialSpec `json:"trials,omitempty"`
+	Grid   *GridSpec   `json:"grid,omitempty"`
+	// Async forces queued 202-style execution even for small jobs.
+	Async bool `json:"async,omitempty"`
+}
+
+// Specs validates the request and flattens it into the trial list to run.
+func (r RunRequest) Specs() ([]TrialSpec, error) {
+	if len(r.Trials) == 0 && r.Grid == nil {
+		return nil, fmt.Errorf("dynspread: run request names no trials and no grid")
+	}
+	specs := make([]TrialSpec, 0, len(r.Trials))
+	for _, s := range r.Trials {
+		specs = append(specs, s.Normalized())
+	}
+	if r.Grid != nil {
+		expanded, err := r.Grid.Trials()
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, expanded...)
+	}
+	return specs, nil
+}
+
+// TrialResult is the wire form of one executed trial: the RESOLVED spec
+// (scenario names expanded into their concrete shape, algorithm, dynamics,
+// and arrival schedule) plus the engine outcome and the paper's derived
+// cost measures. It is the per-trial result schema of the spreadd service
+// and of spreadsim -json.
+type TrialResult struct {
+	Trial TrialSpec `json:"trial"`
+	// Adversary is the concrete adversary's self-reported name (for replays,
+	// "trace-replay").
+	Adversary string `json:"adversary"`
+	// Completed is true iff every node received every token.
+	Completed bool `json:"completed"`
+	// Rounds is the number of rounds executed.
+	Rounds int `json:"rounds"`
+	// Metrics holds the communication-cost measures.
+	Metrics Metrics `json:"metrics"`
+	// AmortizedPerToken is Metrics.Messages / k.
+	AmortizedPerToken float64 `json:"amortized_per_token"`
+	// CompetitiveResidual is Messages − 1·TC(E) (Definition 1.3).
+	CompetitiveResidual float64 `json:"competitive_residual"`
+}
+
+func trialResult(r sweep.Result) TrialResult {
+	return TrialResult{
+		Trial:               specFromTrial(r.Trial),
+		Adversary:           r.AdversaryName,
+		Completed:           r.Res.Completed,
+		Rounds:              r.Res.Rounds,
+		Metrics:             r.Res.Metrics,
+		AmortizedPerToken:   r.Res.Metrics.AmortizedPerToken(r.Trial.K),
+		CompetitiveResidual: r.Res.Metrics.Competitive(1),
+	}
+}
+
+// RunSpecs executes wire-form trials on the sweep worker pool and returns
+// their results in input order. onResult, when non-nil, is invoked once per
+// completed trial as soon as its result is available, under the sweep
+// layer's OnResult contract (concurrent calls, completion order, nothing
+// after RunSpecs returns) — this is how the spreadd service streams job
+// progress. Error and cancellation semantics match sweep.Run: the first
+// error wins and no results are returned.
+func RunSpecs(ctx context.Context, specs []TrialSpec, parallelism int, onResult func(i int, r TrialResult)) ([]TrialResult, error) {
+	trials := make([]sweep.Trial, len(specs))
+	for i, s := range specs {
+		if s.Replay {
+			return nil, fmt.Errorf("dynspread: spec %d replays a recorded trace, which is not part of the wire schema (use Config.Replay in-process, or a trace-backed scenario)", i)
+		}
+		trials[i] = s.sweepTrial()
+	}
+	out := make([]TrialResult, len(specs))
+	opts := sweep.Options{
+		Parallelism: parallelism,
+		OnResult: func(i int, r sweep.Result) {
+			tr := trialResult(r)
+			out[i] = tr
+			if onResult != nil {
+				onResult(i, tr)
+			}
+		},
+	}
+	if _, err := sweep.Run(ctx, trials, opts); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

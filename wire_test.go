@@ -1,0 +1,183 @@
+package dynspread_test
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"dynspread"
+)
+
+func TestGridSpecExpansionMatchesValidation(t *testing.T) {
+	g := dynspread.GridSpec{
+		Ns:          []int{8, 10},
+		Ks:          []int{4},
+		Algorithms:  []string{"single-source"},
+		Adversaries: []string{"static", "churn"},
+		Seeds:       []int64{1, 2},
+	}
+	specs, err := g.Trials()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 8 {
+		t.Fatalf("got %d specs, want 8", len(specs))
+	}
+	if specs[0].Sources != 1 {
+		t.Fatalf("specs not normalized: %+v", specs[0])
+	}
+	// A partially specified classic family is rejected, matching sweep.
+	if _, err := (dynspread.GridSpec{Ns: []int{8}}).Trials(); err == nil || !strings.Contains(err.Error(), "Ks") {
+		t.Fatalf("partial grid accepted: %v", err)
+	}
+}
+
+func TestRunRequestSpecsFlattening(t *testing.T) {
+	req := dynspread.RunRequest{
+		Trials: []dynspread.TrialSpec{{N: 8, K: 4, Algorithm: "single-source", Adversary: "static", Seed: 7}},
+		Grid: &dynspread.GridSpec{
+			Scenarios: []string{"token-stream"},
+			Seeds:     []int64{1, 2},
+		},
+	}
+	specs, err := req.Specs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 || specs[0].Seed != 7 || specs[1].Scenario != "token-stream" {
+		t.Fatalf("flattening wrong: %+v", specs)
+	}
+	if _, err := (dynspread.RunRequest{}).Specs(); err == nil {
+		t.Fatal("empty request accepted")
+	}
+}
+
+func TestRunSpecsMatchesRunAndStreamsProgress(t *testing.T) {
+	spec := dynspread.TrialSpec{N: 12, K: 8, Algorithm: "single-source", Adversary: "churn", Seed: 3}
+	var (
+		mu    sync.Mutex
+		calls int
+	)
+	results, err := dynspread.RunSpecs(context.Background(), []dynspread.TrialSpec{spec, spec}, 2,
+		func(i int, r dynspread.TrialResult) {
+			mu.Lock()
+			calls++
+			mu.Unlock()
+			if !r.Completed {
+				t.Errorf("trial %d incomplete", i)
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 || len(results) != 2 {
+		t.Fatalf("calls=%d results=%d, want 2 and 2", calls, len(results))
+	}
+	rep, err := dynspread.Run(dynspread.Config{
+		N: 12, K: 8,
+		Algorithm: dynspread.AlgSingleSource,
+		Adversary: dynspread.AdvChurn,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Metrics != rep.Metrics || results[0].Rounds != rep.Rounds {
+		t.Fatalf("RunSpecs diverged from Run:\n%+v\n%+v", results[0].Metrics, rep.Metrics)
+	}
+	if !reflect.DeepEqual(results[0].Trial, results[1].Trial) {
+		t.Fatalf("identical specs resolved differently")
+	}
+}
+
+func TestRunFullResolvesScenario(t *testing.T) {
+	res, err := dynspread.RunFull(dynspread.Config{Scenario: dynspread.ScenTokenStream, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trial
+	if tr.Scenario != "token-stream" || tr.N != 24 || tr.K != 48 || tr.Algorithm != "topkis" {
+		t.Fatalf("trial not resolved: %+v", tr)
+	}
+	if len(tr.Arrivals) != 48 {
+		t.Fatalf("arrival schedule not materialized: %d entries", len(tr.Arrivals))
+	}
+	if res.AmortizedPerToken != res.Metrics.AmortizedPerToken(tr.K) {
+		t.Fatalf("derived measure mismatch")
+	}
+	// The service schema round-trips through JSON.
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back dynspread.TrialResult
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*res, back) {
+		t.Fatalf("JSON round trip changed the result:\n%+v\n%+v", *res, back)
+	}
+}
+
+// TestResolvedSpecRoundTrips pins the wire contract: the RESOLVED trial a
+// TrialResult carries (scenario expanded into its concrete shape) must be
+// accepted verbatim as a new request and reproduce the same execution.
+func TestResolvedSpecRoundTrips(t *testing.T) {
+	orig, err := dynspread.RunFull(dynspread.Config{Scenario: dynspread.ScenTokenStream, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Trial.N == 0 || orig.Trial.Scenario == "" {
+		t.Fatalf("resolved trial incomplete: %+v", orig.Trial)
+	}
+	back, err := dynspread.RunSpecs(context.Background(), []dynspread.TrialSpec{orig.Trial}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back[0], *orig) {
+		t.Fatalf("resubmitting the resolved spec diverged:\n%+v\n%+v", *orig, back[0])
+	}
+	// A genuinely conflicting shape is still rejected.
+	bad := orig.Trial
+	bad.N = 10
+	if _, err := dynspread.RunSpecs(context.Background(), []dynspread.TrialSpec{bad}, 1, nil); err == nil || !strings.Contains(err.Error(), "shape") {
+		t.Fatalf("shape override accepted: %v", err)
+	}
+}
+
+func TestRunFullRecordedReplayReproduces(t *testing.T) {
+	cfg := dynspread.Config{
+		N: 10, K: 6,
+		Algorithm: dynspread.AlgSingleSource,
+		Adversary: dynspread.AdvChurn,
+		Seed:      11,
+	}
+	orig, gt, err := dynspread.RunFullRecorded(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Adversary = ""
+	cfg.Replay = gt
+	replayed, err := dynspread.RunFull(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed.Adversary != "trace-replay" {
+		t.Fatalf("adversary = %q", replayed.Adversary)
+	}
+	if replayed.Metrics != orig.Metrics || replayed.Rounds != orig.Rounds {
+		t.Fatalf("replay diverged:\n%+v\n%+v", orig.Metrics, replayed.Metrics)
+	}
+	// The resolved spec is honest about the dynamics: no adversary name (the
+	// trace ran, not an adversary) and a replay marker — and because the
+	// trace is not part of the wire schema, the spec is not resubmittable.
+	if replayed.Trial.Adversary != "" || !replayed.Trial.Replay {
+		t.Fatalf("replay trial misdescribes its dynamics: %+v", replayed.Trial)
+	}
+	if _, err := dynspread.RunSpecs(context.Background(), []dynspread.TrialSpec{replayed.Trial}, 1, nil); err == nil || !strings.Contains(err.Error(), "replay") {
+		t.Fatalf("replay spec resubmission not rejected: %v", err)
+	}
+}
