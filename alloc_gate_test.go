@@ -1,0 +1,70 @@
+package dynspread_test
+
+// The allocation gate of the round hot path: once buffers are warm, a
+// steady-state round must allocate NOTHING — in unicast mode (value-typed
+// messages, counting-sort delivery, workspace buffers) and in broadcast
+// mode (choice/heard buffers). The gate measures per-round allocations
+// differentially: two executions of the same deterministic trial that
+// differ only in MaxRounds allocate identically during setup and during
+// their shared prefix, so any difference is exactly the allocation cost of
+// the extra steady-state rounds.
+
+import (
+	"testing"
+
+	"dynspread"
+	"dynspread/internal/sim"
+)
+
+// perRoundAllocs returns the average allocations per steady-state round of
+// cfg between rounds r1 and r2 (both below the trial's completion round).
+func perRoundAllocs(t *testing.T, cfg dynspread.Config, r1, r2 int) float64 {
+	t.Helper()
+	cfg.Workspace = sim.NewWorkspace()
+	run := func(rounds int) {
+		c := cfg
+		c.MaxRounds = rounds
+		rep, err := dynspread.Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Completed {
+			t.Fatalf("trial completed within %d rounds; the gate needs steady-state rounds", rounds)
+		}
+	}
+	run(r2) // warm the workspace to the largest shape
+	a1 := testing.AllocsPerRun(3, func() { run(r1) })
+	a2 := testing.AllocsPerRun(3, func() { run(r2) })
+	return (a2 - a1) / float64(r2-r1)
+}
+
+// TestAllocGateUnicastFloodingRound: Topkis — the unicast flooder (every
+// node pushes an unsent token to every neighbor every round) — under the
+// registered static adversary must run its steady-state rounds with zero
+// allocations.
+func TestAllocGateUnicastFloodingRound(t *testing.T) {
+	got := perRoundAllocs(t, dynspread.Config{
+		N: 8, K: 512,
+		Algorithm: dynspread.AlgTopkis,
+		Adversary: dynspread.AdvStatic,
+		Seed:      7,
+	}, 100, 200)
+	if got != 0 {
+		t.Fatalf("unicast flooding steady-state round allocates %.2f objects, want 0", got)
+	}
+}
+
+// TestAllocGateBroadcastFloodingRound: the paper's flooding algorithm under
+// the registered static adversary must run its steady-state local-broadcast
+// rounds with zero allocations.
+func TestAllocGateBroadcastFloodingRound(t *testing.T) {
+	got := perRoundAllocs(t, dynspread.Config{
+		N: 8, K: 64, Sources: 8,
+		Algorithm: dynspread.AlgFlooding,
+		Adversary: dynspread.AdvStatic,
+		Seed:      7,
+	}, 100, 200)
+	if got != 0 {
+		t.Fatalf("broadcast flooding steady-state round allocates %.2f objects, want 0", got)
+	}
+}

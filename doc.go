@@ -10,7 +10,13 @@
 //   - internal/sim — a single synchronous round engine with two
 //     communication modes (unicast and local broadcast), per-Definition-1.1
 //     message accounting, per-Definition-1.3 topological-change accounting,
-//     and reusable execution buffers (sim.Workspace),
+//     and an allocation-free steady-state round: messages carry their
+//     payloads as inline values tagged by a PayloadKind bitmask (no
+//     per-payload heap pointers), delivery order comes from a counting sort
+//     over reusable buckets, and sim.Workspace recycles every per-round
+//     buffer (knowledge bitsets resize in place across sweep shapes) — the
+//     alloc-gate tests assert zero allocations per round under a static
+//     adversary,
 //   - internal/registry — the extension point where algorithms and
 //     adversaries self-describe (name, mode, builder, doc) and are resolved
 //     by name; adding one is a one-file change,

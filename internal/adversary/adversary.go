@@ -13,6 +13,13 @@ import (
 // Sequence is an oblivious dynamic-graph generator: Graph(r) must depend
 // only on the generator's own construction (seed) and on r, never on the
 // execution. The engine calls it once per round in increasing round order.
+//
+// A graph returned by Graph must never be mutated afterwards — the engine
+// retains it and diffs consecutive rounds by pointer identity for the TC
+// accounting. Generators that evolve a graph in place (churn, the request
+// cutter) must serve clones; only a generator whose graph truly never
+// changes may re-serve the same object (and is then, correctly, charged
+// zero topological changes).
 type Sequence interface {
 	Name() string
 	Graph(r int) *graph.Graph

@@ -82,7 +82,7 @@ func (a *RequestCutter) NextGraph(view *sim.View) *graph.Graph {
 	hot := make([]graph.Edge, 0, len(view.LastSent))
 	for i := range view.LastSent {
 		m := &view.LastSent[i]
-		if m.Request != nil {
+		if m.Has(sim.KindRequest) {
 			if e := graph.NewEdge(m.From, m.To); !seen[e] {
 				seen[e] = true
 				hot = append(hot, e)

@@ -10,6 +10,13 @@ import (
 // StaticSeq serves the same fixed connected graph every round.
 type StaticSeq struct {
 	G *graph.Graph
+	// served is the snapshot handed to the engine: one private clone of G,
+	// created on first use and then served every round. Serving one
+	// long-lived object (instead of a fresh clone per round) lets the
+	// engine's graph caches and diff fast path make static rounds
+	// allocation-free; it is safe because the engine treats round graphs as
+	// read-only.
+	served *graph.Graph
 }
 
 // NewStatic returns a static sequence serving g.
@@ -19,7 +26,12 @@ func NewStatic(g *graph.Graph) *StaticSeq { return &StaticSeq{G: g} }
 func (s *StaticSeq) Name() string { return "static" }
 
 // Graph implements Sequence.
-func (s *StaticSeq) Graph(int) *graph.Graph { return s.G.Clone() }
+func (s *StaticSeq) Graph(int) *graph.Graph {
+	if s.served == nil {
+		s.served = s.G.Clone()
+	}
+	return s.served
+}
 
 // ChurnOpts parameterizes the σ-edge-stable churn sequence.
 type ChurnOpts struct {

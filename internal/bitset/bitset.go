@@ -89,6 +89,25 @@ func (s *Set) Clear() {
 	}
 }
 
+// Reset reconfigures s into an empty set of capacity n, reusing the existing
+// word storage whenever it suffices. It is the in-place equivalent of
+// replacing s with New(n): repeated Resets across a shrinking-and-growing
+// capacity sweep allocate only when n exceeds every capacity seen before.
+func (s *Set) Reset(n int) {
+	if n < 0 {
+		n = 0
+	}
+	need := (n + wordBits - 1) / wordBits
+	if cap(s.words) < need {
+		s.words = make([]uint64, need)
+		s.n = n
+		return
+	}
+	s.words = s.words[:need]
+	s.n = n
+	s.Clear()
+}
+
 // Fill adds every element of the universe.
 func (s *Set) Fill() {
 	for i := range s.words {
@@ -203,6 +222,22 @@ func (s *Set) Elements() []int {
 		}
 	}
 	return out
+}
+
+// FirstNotIn returns the smallest element of s \ o, or -1 when the
+// difference is empty. It never allocates (unlike filtering Elements).
+// Capacities need not match: elements of s beyond o's capacity count as
+// absent from o.
+func (s *Set) FirstNotIn(o *Set) int {
+	for i, w := range s.words {
+		if i < len(o.words) {
+			w &^= o.words[i]
+		}
+		if w != 0 {
+			return i*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
 }
 
 // NextAbsent returns the smallest element >= from that is NOT in the set, or

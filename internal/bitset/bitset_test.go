@@ -360,6 +360,63 @@ func TestQuickSetAlgebra(t *testing.T) {
 	}
 }
 
+func TestReset(t *testing.T) {
+	s := New(130)
+	s.Fill()
+	s.Reset(70)
+	if s.Len() != 70 || !s.Empty() {
+		t.Fatalf("after Reset(70): len=%d empty=%v", s.Len(), s.Empty())
+	}
+	s.Add(69)
+	// Growing within the retained word capacity must clear stale bits.
+	s.Reset(100)
+	if s.Len() != 100 || !s.Empty() {
+		t.Fatalf("after Reset(100): len=%d empty=%v", s.Len(), s.Empty())
+	}
+	s.Add(99)
+	if !s.Contains(99) || s.Count() != 1 {
+		t.Fatal("resized set broken")
+	}
+	// Growing beyond capacity reallocates; semantics identical to New.
+	s.Reset(1000)
+	if s.Len() != 1000 || !s.Empty() {
+		t.Fatalf("after Reset(1000): len=%d empty=%v", s.Len(), s.Empty())
+	}
+	s.Reset(-3)
+	if s.Len() != 0 {
+		t.Fatal("negative capacity not clamped to 0")
+	}
+}
+
+func TestFirstNotIn(t *testing.T) {
+	s, o := New(200), New(200)
+	if s.FirstNotIn(o) != -1 {
+		t.Fatal("empty \\ empty should be -1")
+	}
+	s.Add(70)
+	s.Add(130)
+	if got := s.FirstNotIn(o); got != 70 {
+		t.Fatalf("FirstNotIn = %d, want 70", got)
+	}
+	o.Add(70)
+	if got := s.FirstNotIn(o); got != 130 {
+		t.Fatalf("FirstNotIn = %d, want 130", got)
+	}
+	o.Add(130)
+	if s.FirstNotIn(o) != -1 {
+		t.Fatal("covered set should yield -1")
+	}
+	// Mismatched capacities: elements of s beyond o's range count as absent.
+	short := New(64)
+	if got := s.FirstNotIn(short); got != 70 {
+		t.Fatalf("FirstNotIn(short) = %d, want 70", got)
+	}
+	// Must never allocate: it replaces an Elements() loop on the hot path.
+	if avg := testing.AllocsPerRun(100, func() { _ = s.FirstNotIn(o) }); avg != 0 {
+		t.Fatalf("FirstNotIn allocates %.1f per call", avg)
+	}
+}
+
 func BenchmarkUnionCount(b *testing.B) {
 	a, c := New(4096), New(4096)
 	for i := 0; i < 4096; i += 3 {

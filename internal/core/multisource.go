@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"dynspread/internal/graph"
 	"dynspread/internal/sim"
 	"dynspread/internal/token"
@@ -148,7 +146,7 @@ func (p *MultiSource) Send(r int) []sim.Message {
 		x := p.minUnannounced(u)
 		if x >= 0 {
 			p.informed[x][u] = true
-			draft(u).Completeness = &sim.CompletenessAnn{Source: x, Count: p.countOf[x]}
+			draft(u).SetCompleteness(sim.CompletenessAnn{Source: x, Count: p.countOf[x]})
 		}
 	}
 
@@ -164,9 +162,9 @@ func (p *MultiSource) Send(r int) []sim.Message {
 		if g == token.None || !p.iv[req.Owner] {
 			continue
 		}
-		draft(u).Token = &sim.TokenPayload{
+		draft(u).SetToken(sim.TokenPayload{
 			ID: g, Owner: req.Owner, Index: req.Index, Count: p.countOf[req.Owner],
-		}
+		})
 	}
 	for u := range p.answer {
 		if !p.edges.adjacent(u) {
@@ -267,7 +265,7 @@ func (p *MultiSource) sendRequests(draft func(graph.NodeID) *sim.Message) {
 		req := sim.RequestPayload{Owner: x, Index: missing[j]}
 		j++
 		p.sentNow[u] = req
-		draft(u).Request = &req
+		draft(u).SetRequest(req)
 	}
 }
 
@@ -282,10 +280,11 @@ func (p *MultiSource) lookupGlobal(x graph.NodeID, index int) token.ID {
 
 // Deliver implements sim.Protocol.
 func (p *MultiSource) Deliver(r int, in []sim.Message) {
-	sort.Slice(in, func(i, j int) bool { return in[i].From < in[j].From })
+	// Inboxes arrive already sorted by sender — the engine's (To, From)
+	// delivery-order invariant, pinned by TestDeliveryOrderInvariant in sim.
 	for i := range in {
 		m := &in[i]
-		if m.Completeness != nil {
+		if m.Has(sim.KindCompleteness) {
 			x := m.Completeness.Source
 			p.ensureSource(x, m.Completeness.Count)
 			if p.heard[x] == nil {
@@ -293,17 +292,17 @@ func (p *MultiSource) Deliver(r int, in []sim.Message) {
 			}
 			p.heard[x][m.From] = true
 		}
-		if m.Request != nil {
-			p.answer[m.From] = *m.Request
+		if m.Has(sim.KindRequest) {
+			p.answer[m.From] = m.Request
 		}
-		if m.Token != nil {
+		if m.Has(sim.KindToken) {
 			p.acceptToken(m.From, m.Token)
 		}
 	}
 }
 
 // acceptToken records a received token and updates per-source completeness.
-func (p *MultiSource) acceptToken(from graph.NodeID, t *sim.TokenPayload) {
+func (p *MultiSource) acceptToken(from graph.NodeID, t sim.TokenPayload) {
 	x := t.Owner
 	p.ensureSource(x, t.Count)
 	if p.countOf[x] == 0 || t.Index < 1 || t.Index > p.countOf[x] {

@@ -247,7 +247,7 @@ func (p *Oblivious) Send(r int) []sim.Message {
 			}
 			t := p.hosted[len(p.hosted)-1]
 			p.hosted = p.hosted[:len(p.hosted)-1]
-			out = append(out, sim.Message{From: p.env.ID, To: c, Walk: &sim.WalkPayload{ID: t}})
+			out = append(out, sim.WalkMsg(p.env.ID, c, sim.WalkPayload{ID: t}))
 		}
 		return out
 	}
@@ -267,7 +267,7 @@ func (p *Oblivious) Send(r int) []sim.Message {
 			continue
 		}
 		usedEdge[u] = true
-		out = append(out, sim.Message{From: p.env.ID, To: u, Walk: &sim.WalkPayload{ID: t}})
+		out = append(out, sim.WalkMsg(p.env.ID, u, sim.WalkPayload{ID: t}))
 	}
 	p.hosted = kept
 	return out
@@ -281,7 +281,7 @@ func (p *Oblivious) Deliver(r int, in []sim.Message) {
 	}
 	for i := range in {
 		m := &in[i]
-		if m.Walk == nil {
+		if !m.Has(sim.KindWalk) {
 			continue
 		}
 		if p.shared.centers[p.env.ID] {

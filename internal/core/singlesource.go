@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"dynspread/internal/graph"
 	"dynspread/internal/sim"
 	"dynspread/internal/token"
@@ -145,10 +143,8 @@ func (p *SingleSource) sendComplete() []sim.Message {
 		switch {
 		case !p.informed[u]:
 			p.informed[u] = true
-			out = append(out, sim.Message{
-				From: p.env.ID, To: u,
-				Completeness: &sim.CompletenessAnn{Source: p.source, Count: p.env.K},
-			})
+			out = append(out, sim.CompletenessMsg(p.env.ID, u,
+				sim.CompletenessAnn{Source: p.source, Count: p.env.K}))
 		case p.answer[u] != 0:
 			idx := p.answer[u]
 			p.answer[u] = 0
@@ -156,10 +152,8 @@ func (p *SingleSource) sendComplete() []sim.Message {
 			if g == token.None {
 				continue
 			}
-			out = append(out, sim.Message{
-				From: p.env.ID, To: u,
-				Token: &sim.TokenPayload{ID: g, Owner: p.source, Index: idx, Count: p.env.K},
-			})
+			out = append(out, sim.TokenMsg(p.env.ID, u,
+				sim.TokenPayload{ID: g, Owner: p.source, Index: idx, Count: p.env.K}))
 		}
 	}
 	// Drop stale answers for nodes no longer adjacent: if the edge comes
@@ -248,10 +242,8 @@ func (p *SingleSource) sendIncomplete() []sim.Message {
 				st.LastRequestRound = p.round
 			}
 		}
-		out = append(out, sim.Message{
-			From: p.env.ID, To: c.u,
-			Request: &sim.RequestPayload{Owner: p.source, Index: idx},
-		})
+		out = append(out, sim.RequestMsg(p.env.ID, c.u,
+			sim.RequestPayload{Owner: p.source, Index: idx}))
 	}
 	return out
 }
@@ -262,17 +254,19 @@ func (p *SingleSource) sendIncomplete() []sim.Message {
 // announced to (the paper's R_v). A node is never both at once, and on the
 // round it completes the map is reset.
 func (p *SingleSource) Deliver(r int, in []sim.Message) {
-	sort.Slice(in, func(i, j int) bool { return in[i].From < in[j].From })
+	// The engine delivers inboxes already sorted by sender (its (To, From)
+	// delivery-order invariant, pinned by TestDeliveryOrderInvariant in sim),
+	// so no re-sort is needed here.
 	for i := range in {
 		m := &in[i]
-		if m.Completeness != nil && !p.complete {
+		if m.Has(sim.KindCompleteness) && !p.complete {
 			p.source = m.Completeness.Source
 			p.informed[m.From] = true
 		}
-		if m.Request != nil {
+		if m.Has(sim.KindRequest) {
 			p.answer[m.From] = m.Request.Index
 		}
-		if m.Token != nil {
+		if m.Has(sim.KindToken) {
 			if !p.haveIdx[m.Token.Index] {
 				p.haveIdx[m.Token.Index] = true
 				p.idxToGlobal[m.Token.Index] = m.Token.ID

@@ -78,10 +78,8 @@ func (p *SpanningTree) Send(_ int) []sim.Message {
 			}
 			p.invited[u] = true
 			sentTo[u] = true
-			out = append(out, sim.Message{
-				From: p.env.ID, To: u,
-				Control: &sim.ControlPayload{Kind: sim.CtrlTreeInvite},
-			})
+			out = append(out, sim.ControlMsg(p.env.ID, u,
+				sim.ControlPayload{Kind: sim.CtrlTreeInvite}))
 		}
 		p.pendingInvite = false
 	}
@@ -89,10 +87,8 @@ func (p *SpanningTree) Send(_ int) []sim.Message {
 	if p.acceptPending && p.parentAdjacent() && !sentTo[p.parent] {
 		p.acceptPending = false
 		sentTo[p.parent] = true
-		out = append(out, sim.Message{
-			From: p.env.ID, To: p.parent,
-			Control: &sim.ControlPayload{Kind: sim.CtrlTreeAccept},
-		})
+		out = append(out, sim.ControlMsg(p.env.ID, p.parent,
+			sim.ControlPayload{Kind: sim.CtrlTreeAccept}))
 	}
 	// Pipeline one token per child per round.
 	for _, c := range p.children {
@@ -105,7 +101,7 @@ func (p *SpanningTree) Send(_ int) []sim.Message {
 		}
 		tp := p.queue[i]
 		p.nextToSend[c] = i + 1
-		out = append(out, sim.Message{From: p.env.ID, To: c, Token: &tp})
+		out = append(out, sim.TokenMsg(p.env.ID, c, tp))
 	}
 	return out
 }
@@ -127,7 +123,7 @@ func (p *SpanningTree) parentAdjacent() bool {
 func (p *SpanningTree) Deliver(_ int, in []sim.Message) {
 	for i := range in {
 		m := &in[i]
-		if m.Control != nil {
+		if m.Has(sim.KindControl) {
 			switch m.Control.Kind {
 			case sim.CtrlTreeInvite:
 				if !p.joined {
@@ -141,8 +137,8 @@ func (p *SpanningTree) Deliver(_ int, in []sim.Message) {
 				sort.Ints(p.children)
 			}
 		}
-		if m.Token != nil {
-			p.queue = append(p.queue, *m.Token)
+		if m.Has(sim.KindToken) {
+			p.queue = append(p.queue, m.Token)
 		}
 	}
 }

@@ -20,6 +20,9 @@ type Topkis struct {
 	know *bitset.Set
 	sent map[graph.NodeID]*bitset.Set
 	nbrs []graph.NodeID
+	// out is the reusable Send buffer; the engine copies messages out of it
+	// before the next round, so steady-state rounds allocate nothing.
+	out []sim.Message
 }
 
 // NewTopkis returns the baseline factory.
@@ -43,7 +46,7 @@ func (p *Topkis) BeginRound(_ int, neighbors []graph.NodeID) { p.nbrs = neighbor
 // Send implements sim.Protocol: the lowest held token not yet sent to each
 // neighbor ("an arbitrary not yet forwarded token").
 func (p *Topkis) Send(_ int) []sim.Message {
-	out := make([]sim.Message, 0, len(p.nbrs))
+	out := p.out[:0]
 	for _, u := range p.nbrs {
 		s := p.sent[u]
 		if s == nil {
@@ -56,20 +59,17 @@ func (p *Topkis) Send(_ int) []sim.Message {
 		}
 		s.Add(t)
 		info := p.env.InfoOf(t)
-		out = append(out, sim.Message{
-			From: p.env.ID, To: u,
-			Token: &sim.TokenPayload{ID: t, Owner: info.Source, Index: info.Index},
-		})
+		out = append(out, sim.TokenMsg(p.env.ID, u,
+			sim.TokenPayload{ID: t, Owner: info.Source, Index: info.Index}))
 	}
+	p.out = out
 	return out
 }
 
 // pickUnsent returns the lowest token in know but not in sentTo, or None.
 func pickUnsent(know, sentTo *bitset.Set) token.ID {
-	for _, t := range know.Elements() {
-		if !sentTo.Contains(t) {
-			return t
-		}
+	if t := know.FirstNotIn(sentTo); t >= 0 {
+		return t
 	}
 	return token.None
 }
@@ -81,7 +81,7 @@ func (p *Topkis) Arrive(_ int, t token.ID) { p.know.Add(t) }
 // Deliver implements sim.Protocol.
 func (p *Topkis) Deliver(_ int, in []sim.Message) {
 	for i := range in {
-		if in[i].Token != nil {
+		if in[i].Has(sim.KindToken) {
 			p.know.Add(in[i].Token.ID)
 		}
 	}

@@ -12,6 +12,12 @@ type Diff struct {
 // empty graph G_0 = (V, ∅), matching the paper's convention E_0 := ∅.
 func Compute(prev, next *Graph) Diff {
 	var d Diff
+	if prev == next {
+		// Same snapshot object (e.g. a static adversary serving one graph
+		// every round): the diff is empty by definition, and skipping the
+		// edge-set walks keeps the round loop allocation-free.
+		return d
+	}
 	if next == nil {
 		if prev != nil {
 			d.Removed = prev.Edges()

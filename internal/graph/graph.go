@@ -45,10 +45,28 @@ func (e Edge) String() string { return fmt.Sprintf("{%d,%d}", e.U, e.V) }
 
 // Graph is a mutable undirected simple graph snapshot over n nodes.
 // The zero value is unusable; construct with New.
+//
+// Read accessors that are on the engine's per-round hot path
+// (NeighborsShared, Connected) memoize their answer; any successful AddEdge
+// or RemoveEdge invalidates the memo. A Graph is not safe for concurrent
+// use, even read-only, because of this lazy memoization.
 type Graph struct {
 	n     int
 	edges map[Edge]struct{}
 	adj   []map[NodeID]struct{}
+
+	// Lazy snapshot caches, nil/0 when stale: flat is the per-node sorted
+	// adjacency (subslices of flatBase), conn the memoized connectivity
+	// (+1 connected, -1 disconnected).
+	flat     [][]NodeID
+	flatBase []NodeID
+	conn     int8
+}
+
+// invalidate drops the lazy snapshot caches after a mutation.
+func (g *Graph) invalidate() {
+	g.flat = nil
+	g.conn = 0
 }
 
 // New returns an empty graph over n nodes.
@@ -86,6 +104,7 @@ func (g *Graph) AddEdge(a, b NodeID) bool {
 	g.edges[e] = struct{}{}
 	g.adj[a][b] = struct{}{}
 	g.adj[b][a] = struct{}{}
+	g.invalidate()
 	return true
 }
 
@@ -101,6 +120,7 @@ func (g *Graph) RemoveEdge(a, b NodeID) bool {
 	delete(g.edges, e)
 	delete(g.adj[a], b)
 	delete(g.adj[b], a)
+	g.invalidate()
 	return true
 }
 
@@ -133,6 +153,46 @@ func (g *Graph) Neighbors(v NodeID) []NodeID {
 	}
 	sort.Ints(out)
 	return out
+}
+
+// NeighborsShared returns v's neighbors in increasing order as a slice
+// SHARED with the graph: callers must treat it as read-only and must not
+// retain it past the next mutation of g. The full adjacency is flattened
+// into one backing array on first use and memoized until the graph changes,
+// so a graph served for many rounds (e.g. the static adversary's) costs
+// zero allocations per round on the engine's hot path. Use Neighbors for a
+// caller-owned copy.
+func (g *Graph) NeighborsShared(v NodeID) []NodeID {
+	if v < 0 || v >= g.n {
+		return nil
+	}
+	if g.flat == nil {
+		g.buildFlat()
+	}
+	return g.flat[v]
+}
+
+// buildFlat flattens the adjacency maps into sorted per-node subslices of a
+// single backing array.
+func (g *Graph) buildFlat() {
+	total := 2 * len(g.edges)
+	base := g.flatBase
+	if cap(base) < total {
+		base = make([]NodeID, 0, total)
+	} else {
+		base = base[:0]
+	}
+	flat := make([][]NodeID, g.n)
+	for v := 0; v < g.n; v++ {
+		start := len(base)
+		for u := range g.adj[v] {
+			base = append(base, u)
+		}
+		sort.Ints(base[start:])
+		flat[v] = base[start:len(base):len(base)]
+	}
+	g.flatBase = base
+	g.flat = flat
 }
 
 // Edges returns all edges in canonical sorted order (by U, then V).
@@ -197,12 +257,21 @@ func (g *Graph) dsuUnordered() *unionfind.DSU {
 	return d
 }
 
-// Connected reports whether the graph is connected (true for n <= 1).
+// Connected reports whether the graph is connected (true for n <= 1). The
+// answer is memoized until the graph mutates, so the engine's once-per-round
+// validation of a long-lived graph is free after the first round.
 func (g *Graph) Connected() bool {
 	if g.n <= 1 {
 		return true
 	}
-	return g.dsuUnordered().Components() == 1
+	if g.conn == 0 {
+		if g.dsuUnordered().Components() == 1 {
+			g.conn = 1
+		} else {
+			g.conn = -1
+		}
+	}
+	return g.conn == 1
 }
 
 // Components returns the number of connected components.

@@ -135,7 +135,7 @@ func (m *broadcastMode) exchange(r int, g *graph.Graph) (int64, error) {
 		if m.choices[v] == token.None {
 			continue
 		}
-		for _, u := range g.Neighbors(v) {
+		for _, u := range g.NeighborsShared(v) {
 			if !know[u].Contains(m.choices[v]) {
 				know[u].Add(m.choices[v])
 				metrics.Learnings++

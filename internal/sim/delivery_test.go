@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"dynspread/internal/graph"
+	"dynspread/internal/token"
+)
+
+// recordProto captures every inbox it is handed (copying, per the Deliver
+// contract) so tests can pin the engine's delivery-order invariant.
+type recordProto struct {
+	env     NodeEnv
+	nbrs    []graph.NodeID
+	inboxes [][]Message
+}
+
+func (p *recordProto) BeginRound(_ int, nbrs []graph.NodeID) { p.nbrs = nbrs }
+
+// Send makes every node message every neighbor every round (a request is the
+// cheapest always-legal payload), so receivers see many-sender inboxes.
+func (p *recordProto) Send(_ int) []Message {
+	out := make([]Message, 0, len(p.nbrs))
+	for _, u := range p.nbrs {
+		out = append(out, RequestMsg(p.env.ID, u, RequestPayload{Owner: 0, Index: 1}))
+	}
+	return out
+}
+
+func (p *recordProto) Deliver(_ int, in []Message) {
+	p.inboxes = append(p.inboxes, append([]Message(nil), in...))
+}
+
+// TestDeliveryOrderInvariant pins the engine's (To, From) delivery order:
+// every node's inbox arrives sorted by strictly increasing sender ID and
+// contains exactly the messages addressed to it. The core algorithms rely on
+// this instead of re-sorting their inboxes every round, so a regression here
+// would silently change their behavior.
+func TestDeliveryOrderInvariant(t *testing.T) {
+	const n = 7
+	assign, err := token.SingleSource(n, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	protos := make([]*recordProto, n)
+	_, err = RunUnicast(UnicastConfig{
+		Assign: assign,
+		Factory: func(env NodeEnv) Protocol {
+			p := &recordProto{env: env}
+			protos[env.ID] = p
+			return p
+		},
+		// A star: the center's inbox collects every leaf each round, the
+		// maximal multi-sender case.
+		Adversary: staticAdv{graph.Star(n)},
+		MaxRounds: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, p := range protos {
+		if len(p.inboxes) != 4 {
+			t.Fatalf("node %d saw %d Deliver calls, want 4", v, len(p.inboxes))
+		}
+		for r, in := range p.inboxes {
+			for i := range in {
+				if in[i].To != v {
+					t.Fatalf("node %d round %d: delivered message addressed to %d", v, r+1, in[i].To)
+				}
+				if i > 0 && in[i-1].From >= in[i].From {
+					t.Fatalf("node %d round %d: inbox not strictly From-sorted: %d then %d",
+						v, r+1, in[i-1].From, in[i].From)
+				}
+			}
+		}
+	}
+	// The star center must actually have exercised the multi-sender case.
+	if got := len(protos[0].inboxes[0]); got != n-1 {
+		t.Fatalf("star center round-1 inbox has %d messages, want %d", got, n-1)
+	}
+}
+
+// mutateProto violates the Deliver contract: it reverses its inbox in
+// place, the way a protocol re-sorting for its own order would.
+type mutateProto struct{ recordProto }
+
+func (p *mutateProto) Deliver(_ int, in []Message) {
+	for i, j := 0, len(in)-1; i < j; i, j = i+1, j-1 {
+		in[i], in[j] = in[j], in[i]
+	}
+}
+
+// TestInboxMutationDetected: inboxes alias the buffer the adversary reads
+// as LastSent, so the engine must fail loudly — not silently diverge — when
+// a protocol mutates its inbox.
+func TestInboxMutationDetected(t *testing.T) {
+	const n = 6
+	assign, err := token.SingleSource(n, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunUnicast(UnicastConfig{
+		Assign: assign,
+		Factory: func(env NodeEnv) Protocol {
+			return &mutateProto{recordProto{env: env}}
+		},
+		Adversary: staticAdv{graph.Star(n)},
+		MaxRounds: 5,
+	})
+	if err == nil || !strings.Contains(err.Error(), "mutated its inbox") {
+		t.Fatalf("inbox mutation not detected: %v", err)
+	}
+}

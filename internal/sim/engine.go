@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -23,11 +24,35 @@ import (
 // broadcasts to the round's neighbors). RunUnicast and RunBroadcast are thin
 // wrappers that plug their engineMode into runEngine.
 
+// maxRoundCap bounds every round cap the engine will accept or derive.
+// It is far above any instance a simulation can actually execute, while
+// leaving enough headroom below math.MaxInt that cap arithmetic (adding the
+// last scheduled arrival round) can never wrap around.
+const maxRoundCap = math.MaxInt / 4
+
 // DefaultMaxRounds returns a generous round cap for an (n, k) instance:
 // well above the paper's O(nk) bounds, so hitting it signals a liveness bug
-// or an unsatisfied stability assumption rather than normal slowness.
+// or an unsatisfied stability assumption rather than normal slowness. The
+// product 40·n·k + 40·n = 40·n·(k+1) saturates at maxRoundCap instead of
+// overflowing — absurd (n, k) from the wire would otherwise wrap into a
+// negative cap and make every run "complete" after zero rounds.
 func DefaultMaxRounds(n, k int) int {
-	r := 40*n*k + 40*n
+	if n < 0 {
+		n = 0
+	}
+	if k < 0 {
+		k = 0
+	}
+	if n > 0 && (n > maxRoundCap/40 || k >= maxRoundCap) {
+		// Guard before computing k+1: k == math.MaxInt would wrap per
+		// negative and slip past the ratio check below.
+		return maxRoundCap
+	}
+	per := k + 1
+	if n > 0 && per > maxRoundCap/(40*n) {
+		return maxRoundCap
+	}
+	r := 40 * n * per
 	if r < 1000 {
 		r = 1000
 	}
@@ -150,8 +175,14 @@ func runEngine(cfg engineConfig, mode engineMode) (*Result, error) {
 	maxRounds := cfg.maxRounds
 	if maxRounds <= 0 {
 		// Late arrivals shift the whole dissemination: the cap must be
-		// generous past the LAST injection, not past round 0.
-		maxRounds = DefaultMaxRounds(n, k) + lastArrival
+		// generous past the LAST injection, not past round 0. The sum
+		// saturates like DefaultMaxRounds itself.
+		maxRounds = DefaultMaxRounds(n, k)
+		if lastArrival > maxRoundCap-maxRounds {
+			maxRounds = maxRoundCap
+		} else {
+			maxRounds += lastArrival
+		}
 	} else if lastArrival > maxRounds {
 		// An explicit cap below the last scheduled injection can never
 		// complete; fail fast instead of reporting an ordinary timeout.

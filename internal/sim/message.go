@@ -70,32 +70,99 @@ type ControlPayload struct {
 	Kind ControlKind
 }
 
+// PayloadKind is a bitmask recording which payload fields of a Message are
+// set. Payloads are inline values rather than pointers so the round hot path
+// never heap-allocates per message; the mask is the authoritative presence
+// flag (a zero-valued inline field with its bit set is a legal payload).
+type PayloadKind uint8
+
+// Payload kind bits.
+const (
+	KindToken PayloadKind = 1 << iota
+	KindRequest
+	KindCompleteness
+	KindWalk
+	KindControl
+
+	kindAll = KindToken | KindRequest | KindCompleteness | KindWalk | KindControl
+)
+
 // Message is one unicast message from From to To. Any combination of payload
-// fields may be set, but at most one of Token/Walk (one token per message)
-// and at least one field must be non-nil. A message counts as exactly one
-// unit of message complexity regardless of which payload fields are present
-// (the model allows a constant number of tokens plus O(log n) bits).
+// kinds may be set, but at most one of Token/Walk (one token per message)
+// and at least one kind must be present. A message counts as exactly one
+// unit of message complexity regardless of which payloads it carries (the
+// model allows a constant number of tokens plus O(log n) bits).
+//
+// Payload fields are meaningful only when the matching Kinds bit is set;
+// construct messages through the *Msg constructors or the Set* methods,
+// which keep field and mask consistent.
 type Message struct {
-	From, To     graph.NodeID
-	Completeness *CompletenessAnn
-	Token        *TokenPayload
-	Request      *RequestPayload
-	Walk         *WalkPayload
-	Control      *ControlPayload
+	From, To graph.NodeID
+	Kinds    PayloadKind
+
+	Token        TokenPayload
+	Request      RequestPayload
+	Completeness CompletenessAnn
+	Walk         WalkPayload
+	Control      ControlPayload
 }
 
-// Empty reports whether the message has no payload.
-func (m *Message) Empty() bool {
-	return m.Completeness == nil && m.Token == nil && m.Request == nil &&
-		m.Walk == nil && m.Control == nil
+// TokenMsg returns a message carrying exactly one token payload.
+func TokenMsg(from, to graph.NodeID, p TokenPayload) Message {
+	return Message{From: from, To: to, Kinds: KindToken, Token: p}
 }
+
+// RequestMsg returns a message carrying exactly one request payload.
+func RequestMsg(from, to graph.NodeID, p RequestPayload) Message {
+	return Message{From: from, To: to, Kinds: KindRequest, Request: p}
+}
+
+// CompletenessMsg returns a message carrying exactly one completeness
+// announcement.
+func CompletenessMsg(from, to graph.NodeID, p CompletenessAnn) Message {
+	return Message{From: from, To: to, Kinds: KindCompleteness, Completeness: p}
+}
+
+// WalkMsg returns a message carrying exactly one random-walk step.
+func WalkMsg(from, to graph.NodeID, p WalkPayload) Message {
+	return Message{From: from, To: to, Kinds: KindWalk, Walk: p}
+}
+
+// ControlMsg returns a message carrying exactly one control payload.
+func ControlMsg(from, to graph.NodeID, p ControlPayload) Message {
+	return Message{From: from, To: to, Kinds: KindControl, Control: p}
+}
+
+// Has reports whether every kind in k is present.
+func (m *Message) Has(k PayloadKind) bool { return m.Kinds&k == k }
+
+// SetToken attaches a token payload.
+func (m *Message) SetToken(p TokenPayload) { m.Token = p; m.Kinds |= KindToken }
+
+// SetRequest attaches a request payload.
+func (m *Message) SetRequest(p RequestPayload) { m.Request = p; m.Kinds |= KindRequest }
+
+// SetCompleteness attaches a completeness announcement.
+func (m *Message) SetCompleteness(p CompletenessAnn) {
+	m.Completeness = p
+	m.Kinds |= KindCompleteness
+}
+
+// SetWalk attaches a walk payload.
+func (m *Message) SetWalk(p WalkPayload) { m.Walk = p; m.Kinds |= KindWalk }
+
+// SetControl attaches a control payload.
+func (m *Message) SetControl(p ControlPayload) { m.Control = p; m.Kinds |= KindControl }
+
+// Empty reports whether the message has no payload.
+func (m *Message) Empty() bool { return m.Kinds == 0 }
 
 // carriedToken returns the token the message carries, or token.None.
 func (m *Message) carriedToken() token.ID {
 	switch {
-	case m.Token != nil:
+	case m.Kinds&KindToken != 0:
 		return m.Token.ID
-	case m.Walk != nil:
+	case m.Kinds&KindWalk != 0:
 		return m.Walk.ID
 	default:
 		return token.None
@@ -113,7 +180,10 @@ func (m *Message) validate(from graph.NodeID, n int) error {
 	if m.Empty() {
 		return fmt.Errorf("sim: node %d sent empty message", from)
 	}
-	if m.Token != nil && m.Walk != nil {
+	if m.Kinds&^kindAll != 0 {
+		return fmt.Errorf("sim: node %d sent unknown payload kind %#x", from, m.Kinds&^kindAll)
+	}
+	if m.Kinds&(KindToken|KindWalk) == KindToken|KindWalk {
 		return fmt.Errorf("sim: node %d sent two tokens in one message", from)
 	}
 	return nil

@@ -23,12 +23,11 @@ func (p *piggyProto) Send(_ int) []Message {
 		return nil
 	}
 	p.sent = true
-	return []Message{{
-		From: 0, To: p.nbrs[0],
-		Completeness: &CompletenessAnn{Source: 0, Count: p.env.K},
-		Token:        &TokenPayload{ID: 0, Owner: 0, Index: 1, Count: p.env.K},
-		Request:      &RequestPayload{Owner: 0, Index: 2},
-	}}
+	m := Message{From: 0, To: p.nbrs[0]}
+	m.SetCompleteness(CompletenessAnn{Source: 0, Count: p.env.K})
+	m.SetToken(TokenPayload{ID: 0, Owner: 0, Index: 1, Count: p.env.K})
+	m.SetRequest(RequestPayload{Owner: 0, Index: 2})
+	return []Message{m}
 }
 
 func (p *piggyProto) Deliver(int, []Message) {}
@@ -70,7 +69,7 @@ func TestControlPayloadCounted(t *testing.T) {
 			if env.ID != 0 {
 				return nil
 			}
-			return []Message{{From: 0, To: 1, Control: &ControlPayload{Kind: CtrlTreeInvite}}}
+			return []Message{ControlMsg(0, 1, ControlPayload{Kind: CtrlTreeInvite})}
 		}}
 	}
 	res, err := RunUnicast(UnicastConfig{

@@ -56,11 +56,7 @@ func (p *pushProto) Send(r int) []Message {
 		for _, t := range p.know.Elements() {
 			if !s.Contains(t) {
 				s.Add(t)
-				out = append(out, Message{
-					From:  p.env.ID,
-					To:    u,
-					Token: &TokenPayload{ID: t},
-				})
+				out = append(out, TokenMsg(p.env.ID, u, TokenPayload{ID: t}))
 				break
 			}
 		}
@@ -70,7 +66,7 @@ func (p *pushProto) Send(r int) []Message {
 
 func (p *pushProto) Deliver(r int, in []Message) {
 	for _, m := range in {
-		if m.Token != nil {
+		if m.Has(KindToken) {
 			p.know.Add(m.Token.ID)
 		}
 	}
@@ -202,28 +198,33 @@ func TestUnicastViolations(t *testing.T) {
 		want string
 	}{
 		{"forged sender", func() []Message {
-			return []Message{{From: 2, To: 1, Request: &RequestPayload{Owner: 0, Index: 1}}}
+			return []Message{RequestMsg(2, 1, RequestPayload{Owner: 0, Index: 1})}
 		}, "forged"},
 		{"self send", func() []Message {
-			return []Message{{From: 0, To: 0, Request: &RequestPayload{Owner: 0, Index: 1}}}
+			return []Message{RequestMsg(0, 0, RequestPayload{Owner: 0, Index: 1})}
 		}, "invalid destination"},
 		{"empty message", func() []Message {
 			return []Message{{From: 0, To: 1}}
 		}, "empty"},
 		{"two tokens", func() []Message {
-			return []Message{{From: 0, To: 1, Token: &TokenPayload{ID: 0}, Walk: &WalkPayload{ID: 1}}}
+			m := TokenMsg(0, 1, TokenPayload{ID: 0})
+			m.SetWalk(WalkPayload{ID: 1})
+			return []Message{m}
 		}, "two tokens"},
+		{"unknown payload kind", func() []Message {
+			return []Message{{From: 0, To: 1, Kinds: 1 << 7}}
+		}, "unknown payload kind"},
 		{"non-neighbor", func() []Message {
-			return []Message{{From: 0, To: 3, Token: &TokenPayload{ID: 0}}}
+			return []Message{TokenMsg(0, 3, TokenPayload{ID: 0})}
 		}, "non-neighbor"},
 		{"bandwidth", func() []Message {
 			return []Message{
-				{From: 0, To: 1, Token: &TokenPayload{ID: 0}},
-				{From: 0, To: 1, Request: &RequestPayload{Owner: 0, Index: 1}},
+				TokenMsg(0, 1, TokenPayload{ID: 0}),
+				RequestMsg(0, 1, RequestPayload{Owner: 0, Index: 1}),
 			}
 		}, "bandwidth"},
 		{"invalid token id", func() []Message {
-			return []Message{{From: 0, To: 1, Token: &TokenPayload{ID: 99}}}
+			return []Message{TokenMsg(0, 1, TokenPayload{ID: 99})}
 		}, "invalid token"},
 	}
 	for _, c := range cases {
@@ -244,7 +245,7 @@ func TestUnicastTokenForwardingEnforced(t *testing.T) {
 		Factory: func(env NodeEnv) Protocol {
 			if env.ID == 1 {
 				return badProto{msg: func() []Message {
-					return []Message{{From: 1, To: 0, Token: &TokenPayload{ID: 0}}}
+					return []Message{TokenMsg(1, 0, TokenPayload{ID: 0})}
 				}}
 			}
 			return silentProto{}

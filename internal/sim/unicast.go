@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"sort"
 
 	"dynspread/internal/graph"
 	"dynspread/internal/token"
@@ -65,12 +64,16 @@ type unicastMode struct {
 	st     *engineState
 	view   View
 	protos []Protocol
-	inbox  [][]Message
-	// sendBuf is the scratch buffer for the current round's sends; lastSent
-	// keeps the previous round's sends alive for the adversary's view. The
-	// two ping-pong between rounds so steady-state rounds allocate nothing.
-	sendBuf  []Message
+	// raw collects the round's sends in protocol order; sortBuf and lastSent
+	// ping-pong between rounds: each round's delivery-sorted messages become
+	// LastSent for the adversary's view, and the buffer holding the
+	// round-before-last's sends (no longer referenced) is the next sort
+	// target. Steady-state rounds therefore allocate nothing.
+	raw      []Message
+	sortBuf  []Message
 	lastSent []Message
+	// counts is the counting-sort bucket array (len n+1).
+	counts []int
 }
 
 func (m *unicastMode) check() error {
@@ -87,8 +90,7 @@ func (m *unicastMode) bind(st *engineState) {
 	m.st = st
 	m.view = View{N: st.n, K: st.k, know: st.know}
 	m.protos = m.cfg.Workspace.protocolsFor(st.n)
-	m.inbox = m.cfg.Workspace.inboxFor(st.n)
-	m.sendBuf, m.lastSent = m.cfg.Workspace.sendBuffers()
+	m.raw, m.sortBuf, m.lastSent, m.counts = m.cfg.Workspace.unicastBuffers()
 }
 
 func (m *unicastMode) newProto(env NodeEnv) error {
@@ -123,11 +125,26 @@ func (m *unicastMode) wire(r int, prev *graph.Graph) *graph.Graph {
 func (m *unicastMode) exchange(r int, g *graph.Graph) (int64, error) {
 	n, k := m.st.n, m.st.k
 	know, metrics := m.st.know, &m.st.metrics
+	// Paranoia check on the aliasing introduced by zero-copy delivery:
+	// inboxes are subslices of the buffer the adversary reads as LastSent,
+	// so a protocol that mutates its inbox (e.g. re-sorts it, as the core
+	// algorithms did before the engine's order became a pinned contract)
+	// would silently corrupt the adversary's view. The strict (To, From)
+	// order is an invariant any reorder breaks; verifying it costs one
+	// allocation-free compare per message and turns silent divergence into
+	// a hard error. In-place field edits that preserve the order remain
+	// undetectable without copying, which would defeat the zero-copy path.
+	for i := 1; i < len(m.lastSent); i++ {
+		a, b := &m.lastSent[i-1], &m.lastSent[i]
+		if a.To > b.To || (a.To == b.To && a.From >= b.From) {
+			return 0, fmt.Errorf("sim: round %d: a protocol mutated its inbox in round %d (delivery order broken at message %d); inboxes are read-only", r, r-1, i)
+		}
+	}
 	for v := 0; v < n; v++ {
-		m.protos[v].BeginRound(r, g.Neighbors(v))
+		m.protos[v].BeginRound(r, g.NeighborsShared(v))
 	}
 
-	sent := m.sendBuf[:0]
+	sent := m.raw[:0]
 	used := m.cfg.Workspace.usedFor(2 * g.M())
 	for v := 0; v < n; v++ {
 		for _, raw := range m.protos[v].Send(r) {
@@ -152,54 +169,84 @@ func (m *unicastMode) exchange(r int, g *graph.Graph) (int64, error) {
 				}
 			}
 			metrics.Messages++
-			if msg.Token != nil {
+			kinds := msg.Kinds
+			if kinds&KindToken != 0 {
 				metrics.TokenPayloads++
 			}
-			if msg.Walk != nil {
+			if kinds&KindWalk != 0 {
 				metrics.WalkPayloads++
 			}
-			if msg.Request != nil {
+			if kinds&KindRequest != 0 {
 				metrics.RequestPayloads++
 			}
-			if msg.Completeness != nil {
+			if kinds&KindCompleteness != 0 {
 				metrics.CompletenessPayloads++
 			}
-			if msg.Control != nil {
+			if kinds&KindControl != 0 {
 				metrics.ControlPayloads++
 			}
 			sent = append(sent, msg)
 		}
 	}
+	m.raw = sent // keep any regrown capacity for the next round
 
-	// Deliver: sort by (To, From) for determinism, update engine
-	// knowledge, then hand each node its inbox.
-	sort.Slice(sent, func(i, j int) bool {
-		if sent[i].To != sent[j].To {
-			return sent[i].To < sent[j].To
-		}
-		return sent[i].From < sent[j].From
-	})
-	for v := range m.inbox {
-		m.inbox[v] = m.inbox[v][:0]
+	// Deliver in (To, From) order. The send loop visits senders in
+	// increasing ID order and the bandwidth check makes (To, From) unique,
+	// so a stable counting sort bucketed on To yields exactly the order the
+	// old comparison sort produced — without its per-round allocations or
+	// O(m log m) comparisons. counts[t] walks from bucket t's start offset
+	// to its end offset during placement, so afterwards bucket t spans
+	// [counts[t-1], counts[t]).
+	sorted := m.sortBuf
+	if cap(sorted) < len(sent) {
+		// Grow with headroom: while per-round message counts are still
+		// ramping up, exact-fit sizing would reallocate every round.
+		sorted = make([]Message, len(sent), 2*len(sent))
+	} else {
+		sorted = sorted[:len(sent)]
 	}
-	var learned int64
+	counts := m.counts
+	if cap(counts) < n+1 {
+		counts = make([]int, n+1)
+	} else {
+		counts = counts[:n+1]
+		clear(counts)
+	}
+	m.counts = counts
 	for i := range sent {
-		msg := sent[i]
-		if t := msg.carriedToken(); t != token.None && !know[msg.To].Contains(t) {
-			know[msg.To].Add(t)
+		counts[sent[i].To+1]++
+	}
+	for t := 1; t <= n; t++ {
+		counts[t] += counts[t-1]
+	}
+	for i := range sent {
+		t := sent[i].To
+		sorted[counts[t]] = sent[i]
+		counts[t]++
+	}
+
+	var learned int64
+	for i := range sorted {
+		if t := sorted[i].carriedToken(); t != token.None && !know[sorted[i].To].Contains(t) {
+			know[sorted[i].To].Add(t)
 			metrics.Learnings++
 			learned++
 		}
-		m.inbox[msg.To] = append(m.inbox[msg.To], msg)
 	}
+	start := 0
 	for v := 0; v < n; v++ {
-		m.protos[v].Deliver(r, m.inbox[v])
+		end := counts[v]
+		// Full slice expression: a protocol that appends to its inbox gets a
+		// fresh allocation instead of silently overwriting the neighboring
+		// bucket (and next round's LastSent).
+		m.protos[v].Deliver(r, sorted[start:end:end])
+		start = end
 	}
 
-	// Ping-pong: this round's sends become LastSent; the buffer holding the
-	// round-before-last's sends (no longer referenced) is the next scratch.
-	m.sendBuf, m.lastSent = m.lastSent[:0], sent
-	m.cfg.Workspace.storeSendBuffers(m.sendBuf, m.lastSent)
+	// Ping-pong: this round's sorted sends become LastSent; the buffer
+	// holding the round-before-last's sends is the next sort target.
+	m.sortBuf, m.lastSent = m.lastSent[:0], sorted
+	m.cfg.Workspace.storeUnicastBuffers(m.raw, m.sortBuf, m.lastSent, m.counts)
 	return learned, nil
 }
 

@@ -87,7 +87,12 @@ func (v *BroadcastView) NumBroadcasters() int {
 type Adversary interface {
 	// Name identifies the adversary in reports.
 	Name() string
-	// NextGraph returns the communication graph of round view.Round.
+	// NextGraph returns the communication graph of round view.Round. A
+	// served graph must never be mutated afterwards: the engine keeps it as
+	// view.Prev and diffs consecutive graphs by identity, so an adversary
+	// that mutates its current graph in place must serve a clone (or, like
+	// the static adversary, serve one never-mutated snapshot — then the
+	// engine charges zero topological changes, correctly).
 	NextGraph(view *View) *graph.Graph
 }
 
@@ -122,6 +127,16 @@ type NodeEnv struct {
 // Each round the engine calls BeginRound (delivering the paper's round-start
 // neighbor information), then Send, then Deliver with the messages addressed
 // to this node.
+//
+// Hot-path buffer contracts (what makes steady-state rounds allocation-free):
+//
+//   - neighbors is shared with the round's graph: read-only, valid until the
+//     next BeginRound.
+//   - The slice returned by Send is copied out before the protocol's next
+//     Send, so implementations may reuse one buffer across rounds.
+//   - in is delivered sorted by sender ID (the engine's (To, From) delivery
+//     order); it aliases engine state, so it is read-only and must not be
+//     retained or mutated past the Deliver call.
 type Protocol interface {
 	BeginRound(r int, neighbors []graph.NodeID)
 	Send(r int) []Message

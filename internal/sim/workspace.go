@@ -3,23 +3,28 @@ package sim
 import "dynspread/internal/bitset"
 
 // Workspace holds reusable per-execution buffers — knowledge bitsets,
-// protocol slices, inboxes, and message buffers. A Workspace is NOT safe for
-// concurrent use: give each worker goroutine its own (the sweep layer does
-// this) and reuse it across that worker's sequential trials to cut per-trial
-// allocations. A nil *Workspace is valid everywhere one is accepted and means
-// "allocate privately".
+// protocol slices, delivery buffers, and counting-sort buckets. A Workspace
+// is NOT safe for concurrent use: give each worker goroutine its own (the
+// sweep layer does this) and reuse it across that worker's sequential trials
+// to cut per-trial allocations. A nil *Workspace is valid everywhere one is
+// accepted and means "allocate privately".
 //
 // Reuse never changes results: buffers are handed out cleared, and the
 // engine's semantics (delivery order, RNG draws, accounting) do not depend on
 // buffer capacity.
 type Workspace struct {
-	know     []*bitset.Set
-	protosU  []Protocol
-	protosB  []BroadcastProtocol
-	inbox    [][]Message
-	heard    [][]BroadcastHear
+	know    []*bitset.Set
+	protosU []Protocol
+	protosB []BroadcastProtocol
+	heard   [][]BroadcastHear
+	// sendRaw collects a round's sends in protocol order; sendA/sendB are
+	// the sorted-delivery buffers the unicast mode ping-pongs between rounds
+	// (current delivery vs. the previous round's LastSent); counts is the
+	// counting-sort bucket array.
+	sendRaw  []Message
 	sendA    []Message
 	sendB    []Message
+	counts   []int
 	used     map[sendKey]bool
 	usedHint int
 	choices  []int // token.ID values; int keeps the import surface small
@@ -28,21 +33,33 @@ type Workspace struct {
 // NewWorkspace returns an empty workspace.
 func NewWorkspace() *Workspace { return &Workspace{} }
 
-// knowFor returns n cleared bitsets of capacity k, reusing the cached ones
-// when the shape matches.
+// knowFor returns n cleared bitsets of capacity k. Cached sets are resized
+// in place (bitset.Reset reuses word storage), so sweeping the K axis at a
+// fixed n — or the N axis at fixed K — stops reallocating once the worker
+// has seen the largest shape.
 func (w *Workspace) knowFor(n, k int) []*bitset.Set {
-	if w == nil || len(w.know) != n || (n > 0 && w.know[0].Len() != k) {
+	if w == nil {
 		know := make([]*bitset.Set, n)
 		for v := range know {
 			know[v] = bitset.New(k)
 		}
-		if w != nil {
-			w.know = know
-		}
 		return know
 	}
-	for _, s := range w.know {
-		s.Clear()
+	if cap(w.know) >= n {
+		w.know = w.know[:n]
+	} else {
+		grown := make([]*bitset.Set, n)
+		// Copy the full capacity, not just the current length: sets cached
+		// by an earlier, larger run survive beyond len and stay reusable.
+		copy(grown, w.know[:cap(w.know)])
+		w.know = grown
+	}
+	for v, s := range w.know {
+		if s == nil {
+			w.know[v] = bitset.New(k)
+		} else {
+			s.Reset(k)
+		}
 	}
 	return w.know
 }
@@ -80,22 +97,6 @@ func (w *Workspace) broadcastProtocolsFor(n int) []BroadcastProtocol {
 	return w.protosB
 }
 
-// inboxFor returns a length-n inbox slice with emptied per-node buckets.
-func (w *Workspace) inboxFor(n int) [][]Message {
-	if w == nil || cap(w.inbox) < n {
-		in := make([][]Message, n)
-		if w != nil {
-			w.inbox = in
-		}
-		return in
-	}
-	w.inbox = w.inbox[:n]
-	for i := range w.inbox {
-		w.inbox[i] = w.inbox[i][:0]
-	}
-	return w.inbox
-}
-
 // heardFor returns a length-n heard slice with emptied per-node buckets.
 func (w *Workspace) heardFor(n int) [][]BroadcastHear {
 	if w == nil || cap(w.heard) < n {
@@ -112,22 +113,21 @@ func (w *Workspace) heardFor(n int) [][]BroadcastHear {
 	return w.heard
 }
 
-// sendBuffers returns the two message buffers the unicast mode ping-pongs
-// between rounds (current sends vs. the previous round's sends kept alive
-// for the adversary's LastSent view), both emptied.
-func (w *Workspace) sendBuffers() (a, b []Message) {
+// unicastBuffers returns the unicast mode's four delivery buffers (raw
+// sends, sort target, LastSent, counting-sort buckets), all emptied.
+func (w *Workspace) unicastBuffers() (raw, sortBuf, last []Message, counts []int) {
 	if w == nil {
-		return nil, nil
+		return nil, nil, nil, nil
 	}
-	return w.sendA[:0], w.sendB[:0]
+	return w.sendRaw[:0], w.sendA[:0], w.sendB[:0], w.counts[:0]
 }
 
-// storeSendBuffers saves the (possibly regrown) buffers back for reuse.
-func (w *Workspace) storeSendBuffers(a, b []Message) {
+// storeUnicastBuffers saves the (possibly regrown) buffers back for reuse.
+func (w *Workspace) storeUnicastBuffers(raw, sortBuf, last []Message, counts []int) {
 	if w == nil {
 		return
 	}
-	w.sendA, w.sendB = a, b
+	w.sendRaw, w.sendA, w.sendB, w.counts = raw, sortBuf, last, counts
 }
 
 // usedFor returns an empty bandwidth-tracking set. Go maps never shrink, so

@@ -12,6 +12,7 @@ package sweep
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"dynspread/internal/adversary"
 	"dynspread/internal/graph"
@@ -149,6 +150,37 @@ type Grid struct {
 	CheckStability int
 	Options        any
 	AdvOptions     any
+}
+
+// Cardinality returns the number of trials Trials will produce, without
+// materializing anything, saturating at math.MaxInt. It mirrors Trials'
+// cross-product and axis-defaulting semantics exactly — the two must be
+// changed together (a new axis added to Trials must be multiplied in here),
+// which is why this lives next to the loop instead of in a caller: wire
+// layers use it to reject memory-exhausting grids BEFORE expansion.
+func (g Grid) Cardinality() int {
+	satMul := func(a, b int) int {
+		if a == 0 || b == 0 {
+			return 0
+		}
+		if a > math.MaxInt/b {
+			return math.MaxInt
+		}
+		return a * b
+	}
+	orOne := func(n int) int {
+		if n == 0 {
+			return 1
+		}
+		return n
+	}
+	classic := satMul(len(g.Ns), satMul(len(g.Ks), satMul(orOne(len(g.Sources)),
+		satMul(len(g.Algorithms), satMul(len(g.Adversaries), orOne(len(g.Seeds)))))))
+	scenario := satMul(len(g.Scenarios), satMul(orOne(len(g.Algorithms)), orOne(len(g.Seeds))))
+	if classic > math.MaxInt-scenario {
+		return math.MaxInt
+	}
+	return classic + scenario
 }
 
 // Trials expands the grid in deterministic order: the classic family first

@@ -43,6 +43,33 @@ func TestGridTrialsExpansionOrder(t *testing.T) {
 	}
 }
 
+// TestGridCardinalityMatchesTrials pins Cardinality to the expansion it
+// mirrors, across both grid families and every axis-defaulting rule — the
+// wire layer relies on the count to reject huge grids before expansion, so
+// the two must never drift.
+func TestGridCardinalityMatchesTrials(t *testing.T) {
+	grids := []Grid{
+		{Ns: []int{8, 16}, Ks: []int{4}, Algorithms: []string{"a", "b"}, Adversaries: []string{"x"}, Seeds: []int64{1, 2}},
+		{Ns: []int{8}, Ks: []int{4, 8}, Sources: []int{1, 2, 4}, Algorithms: []string{"a"}, Adversaries: []string{"x", "y"}},
+		{Scenarios: []string{"s1", "s2"}},
+		{Scenarios: []string{"s1"}, Algorithms: []string{"a", "b"}, Seeds: []int64{1, 2, 3}},
+		{Ns: []int{8}, Ks: []int{4}, Algorithms: []string{"a"}, Adversaries: []string{"x"}, Scenarios: []string{"s1", "s2"}, Seeds: []int64{1}},
+		{},
+	}
+	for i, g := range grids {
+		if got, want := g.Cardinality(), len(g.Trials()); got != want {
+			t.Fatalf("grid %d: Cardinality() = %d, len(Trials()) = %d", i, got, want)
+		}
+	}
+	// Saturation: axis lengths whose product overflows report MaxInt-ish
+	// counts instead of wrapping.
+	big := make([]int, 1<<16)
+	huge := Grid{Ns: big, Ks: big, Sources: big, Algorithms: []string{"a"}, Adversaries: []string{"x"}}
+	if c := huge.Cardinality(); c < 1<<30 {
+		t.Fatalf("saturating cardinality too small: %d", c)
+	}
+}
+
 func TestRunMatchesSerialAndIsDeterministic(t *testing.T) {
 	g := Grid{
 		Ns:          []int{10},

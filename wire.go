@@ -63,6 +63,71 @@ func (s TrialSpec) Normalized() TrialSpec {
 	return s
 }
 
+// Wire-level shape limits. The service accepts arbitrary JSON, so the wire
+// layer — not the engine — is where absurd instances must be rejected: an
+// (n, k) far beyond anything the simulator can execute would previously
+// reach sim.DefaultMaxRounds and could wrap the round cap around. These
+// bounds are orders of magnitude above every realistic sweep while keeping
+// 40·n·k comfortably inside an int64.
+const (
+	// MaxWireN is the largest node count accepted over the wire.
+	MaxWireN = 1 << 20
+	// MaxWireK is the largest token count accepted over the wire.
+	MaxWireK = 1 << 24
+	// MaxWireRounds is the largest explicit round cap (or arrival round)
+	// accepted over the wire. It must fit a 32-bit int so the module keeps
+	// compiling on 32-bit platforms.
+	MaxWireRounds = 1 << 30
+	// MaxWireTrials bounds the number of trials one grid may expand to.
+	// Checked BEFORE expansion — a small request body can describe a
+	// cross-product of billions of trials, which must be rejected without
+	// materializing it.
+	MaxWireTrials = 1 << 20
+)
+
+// Validate rejects wire specs whose shape is negative or absurdly large,
+// with an error naming the offending field. Registry-name resolution and
+// instance-consistency checks (unknown algorithm, sources > n, …) stay with
+// the sweep layer; Validate only guards the numeric envelope.
+func (s TrialSpec) Validate() error {
+	check := func(field string, v, max int) error {
+		if v < 0 {
+			return fmt.Errorf("dynspread: trial spec: %s must not be negative, got %d", field, v)
+		}
+		if v > max {
+			return fmt.Errorf("dynspread: trial spec: %s = %d exceeds the wire limit %d", field, v, max)
+		}
+		return nil
+	}
+	if err := check("n", s.N, MaxWireN); err != nil {
+		return err
+	}
+	if err := check("k", s.K, MaxWireK); err != nil {
+		return err
+	}
+	if err := check("sources", s.Sources, MaxWireN); err != nil {
+		return err
+	}
+	if err := check("max_rounds", s.MaxRounds, MaxWireRounds); err != nil {
+		return err
+	}
+	if err := check("sigma", s.Sigma, MaxWireRounds); err != nil {
+		return err
+	}
+	if err := check("check_stability", s.CheckStability, MaxWireRounds); err != nil {
+		return err
+	}
+	if len(s.Arrivals) > MaxWireK {
+		return fmt.Errorf("dynspread: trial spec: %d arrival entries exceed the wire limit %d", len(s.Arrivals), MaxWireK)
+	}
+	for t, r := range s.Arrivals {
+		if err := check(fmt.Sprintf("arrivals[%d]", t), r, MaxWireRounds); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // sweepTrial converts the wire spec into the sweep layer's trial.
 func (s TrialSpec) sweepTrial() sweep.Trial {
 	return sweep.Trial{
@@ -118,7 +183,10 @@ type GridSpec struct {
 }
 
 // Trials validates and expands the grid into wire-form trial specs in the
-// sweep layer's deterministic order.
+// sweep layer's deterministic order. The expansion cardinality is bounded
+// BEFORE materializing anything (via sweep's Grid.Cardinality, which lives
+// next to the expansion loop it mirrors), so a tiny request body cannot
+// describe a memory-exhausting cross-product.
 func (g GridSpec) Trials() ([]TrialSpec, error) {
 	sg := sweep.Grid{
 		Ns: g.Ns, Ks: g.Ks, Sources: g.Sources,
@@ -128,6 +196,9 @@ func (g GridSpec) Trials() ([]TrialSpec, error) {
 		Seeds:       g.Seeds,
 		MaxRounds:   g.MaxRounds,
 		Sigma:       g.Sigma,
+	}
+	if c := sg.Cardinality(); c > MaxWireTrials {
+		return nil, fmt.Errorf("dynspread: grid expands to %d trials, more than the wire limit %d", c, MaxWireTrials)
 	}
 	if err := sg.Validate(); err != nil {
 		return nil, err
@@ -155,13 +226,24 @@ func (r RunRequest) Specs() ([]TrialSpec, error) {
 		return nil, fmt.Errorf("dynspread: run request names no trials and no grid")
 	}
 	specs := make([]TrialSpec, 0, len(r.Trials))
-	for _, s := range r.Trials {
+	for i, s := range r.Trials {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("%w (trial %d)", err, i)
+		}
 		specs = append(specs, s.Normalized())
 	}
 	if r.Grid != nil {
 		expanded, err := r.Grid.Trials()
 		if err != nil {
 			return nil, err
+		}
+		// Grid axes are arbitrary JSON too: validate the expanded specs so
+		// an absurd grid is rejected at request time (400) instead of
+		// failing the whole job mid-run.
+		for i, s := range expanded {
+			if err := s.Validate(); err != nil {
+				return nil, fmt.Errorf("%w (grid trial %d)", err, i)
+			}
 		}
 		specs = append(specs, expanded...)
 	}
@@ -214,6 +296,9 @@ func RunSpecs(ctx context.Context, specs []TrialSpec, parallelism int, onResult 
 	for i, s := range specs {
 		if s.Replay {
 			return nil, fmt.Errorf("dynspread: spec %d replays a recorded trace, which is not part of the wire schema (use Config.Replay in-process, or a trace-backed scenario)", i)
+		}
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("%w (spec %d)", err, i)
 		}
 		trials[i] = s.sweepTrial()
 	}

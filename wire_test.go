@@ -55,6 +55,75 @@ func TestRunRequestSpecsFlattening(t *testing.T) {
 	}
 }
 
+func TestTrialSpecValidateRejectsAbsurdShapes(t *testing.T) {
+	ok := dynspread.TrialSpec{N: 8, K: 4, Algorithm: "single-source", Adversary: "static"}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("sane spec rejected: %v", err)
+	}
+	if err := (dynspread.TrialSpec{Scenario: "token-stream"}).Validate(); err != nil {
+		t.Fatalf("scenario spec rejected: %v", err)
+	}
+	bad := []struct {
+		name string
+		spec dynspread.TrialSpec
+		want string
+	}{
+		{"negative n", dynspread.TrialSpec{N: -1, K: 4}, "n must not be negative"},
+		{"negative k", dynspread.TrialSpec{N: 4, K: -2}, "k must not be negative"},
+		{"huge n", dynspread.TrialSpec{N: dynspread.MaxWireN + 1, K: 4}, "exceeds the wire limit"},
+		{"huge k", dynspread.TrialSpec{N: 4, K: dynspread.MaxWireK + 1}, "exceeds the wire limit"},
+		{"negative max rounds", dynspread.TrialSpec{N: 4, K: 4, MaxRounds: -7}, "max_rounds"},
+		{"huge max rounds", dynspread.TrialSpec{N: 4, K: 4, MaxRounds: dynspread.MaxWireRounds + 1}, "max_rounds"},
+		{"negative sigma", dynspread.TrialSpec{N: 4, K: 4, Sigma: -1}, "sigma"},
+		{"negative arrival", dynspread.TrialSpec{N: 4, K: 2, Arrivals: []int{0, -3}}, "arrivals[1]"},
+		{"huge sources", dynspread.TrialSpec{N: 4, K: 4, Sources: dynspread.MaxWireN + 1}, "sources"},
+	}
+	for _, c := range bad {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.spec.Validate()
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %v does not mention %q", err, c.want)
+			}
+		})
+	}
+
+	// The overflow shape that used to wrap sim.DefaultMaxRounds around is
+	// rejected at the wire boundary with a clear error, both on request
+	// flattening and on direct execution.
+	absurd := dynspread.TrialSpec{N: dynspread.MaxWireN + 1, K: dynspread.MaxWireK + 1}
+	if _, err := (dynspread.RunRequest{Trials: []dynspread.TrialSpec{absurd}}).Specs(); err == nil {
+		t.Fatal("RunRequest.Specs accepted an absurd trial")
+	}
+	if _, err := dynspread.RunSpecs(context.Background(), []dynspread.TrialSpec{absurd}, 1, nil); err == nil {
+		t.Fatal("RunSpecs accepted an absurd trial")
+	}
+	// Grid-expanded specs go through the same guard at request time.
+	grid := dynspread.RunRequest{Grid: &dynspread.GridSpec{
+		Ns: []int{dynspread.MaxWireN + 1}, Ks: []int{4},
+		Algorithms: []string{"topkis"}, Adversaries: []string{"static"},
+		Seeds: []int64{1},
+	}}
+	if _, err := grid.Specs(); err == nil || !strings.Contains(err.Error(), "wire limit") {
+		t.Fatalf("absurd grid not rejected at request time: %v", err)
+	}
+
+	// A grid whose axis VALUES are all legal but whose cross-product is
+	// astronomical must be rejected before expansion (a small request body
+	// must not be able to exhaust server memory).
+	axis := make([]int, 4096)
+	for i := range axis {
+		axis[i] = i + 2
+	}
+	huge := dynspread.GridSpec{
+		Ns: axis, Ks: axis, // 16M+ combinations before the other axes
+		Algorithms: []string{"topkis"}, Adversaries: []string{"static"},
+		Seeds: []int64{1},
+	}
+	if _, err := huge.Trials(); err == nil || !strings.Contains(err.Error(), "trials") {
+		t.Fatalf("unbounded grid cardinality not rejected: %v", err)
+	}
+}
+
 func TestRunSpecsMatchesRunAndStreamsProgress(t *testing.T) {
 	spec := dynspread.TrialSpec{N: 12, K: 8, Algorithm: "single-source", Adversary: "churn", Seed: 3}
 	var (
