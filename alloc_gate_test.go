@@ -38,33 +38,45 @@ func perRoundAllocs(t *testing.T, cfg dynspread.Config, r1, r2 int) float64 {
 	return (a2 - a1) / float64(r2-r1)
 }
 
+// gate fails the test unless cfg's steady-state rounds allocate exactly
+// zero. testing.AllocsPerRun counts PROCESS-WIDE mallocs, so unrelated
+// background activity (GC bookkeeping, runtime timers) occasionally leaks
+// ±1 object into the differential — visible as spurious ±0.01 readings,
+// sometimes negative. A real hot-path allocation reproduces on every
+// attempt (even an amortized one, like a growing map, is consistently
+// non-zero), so only a persistent non-zero reading fails.
+func gate(t *testing.T, mode string, cfg dynspread.Config, r1, r2 int) {
+	t.Helper()
+	var got float64
+	for attempt := 0; attempt < 3; attempt++ {
+		if got = perRoundAllocs(t, cfg, r1, r2); got == 0 {
+			return
+		}
+	}
+	t.Fatalf("%s steady-state round allocates %.2f objects, want 0", mode, got)
+}
+
 // TestAllocGateUnicastFloodingRound: Topkis — the unicast flooder (every
 // node pushes an unsent token to every neighbor every round) — under the
 // registered static adversary must run its steady-state rounds with zero
 // allocations.
 func TestAllocGateUnicastFloodingRound(t *testing.T) {
-	got := perRoundAllocs(t, dynspread.Config{
+	gate(t, "unicast flooding", dynspread.Config{
 		N: 8, K: 512,
 		Algorithm: dynspread.AlgTopkis,
 		Adversary: dynspread.AdvStatic,
 		Seed:      7,
 	}, 100, 200)
-	if got != 0 {
-		t.Fatalf("unicast flooding steady-state round allocates %.2f objects, want 0", got)
-	}
 }
 
 // TestAllocGateBroadcastFloodingRound: the paper's flooding algorithm under
 // the registered static adversary must run its steady-state local-broadcast
 // rounds with zero allocations.
 func TestAllocGateBroadcastFloodingRound(t *testing.T) {
-	got := perRoundAllocs(t, dynspread.Config{
+	gate(t, "broadcast flooding", dynspread.Config{
 		N: 8, K: 64, Sources: 8,
 		Algorithm: dynspread.AlgFlooding,
 		Adversary: dynspread.AdvStatic,
 		Seed:      7,
 	}, 100, 200)
-	if got != 0 {
-		t.Fatalf("broadcast flooding steady-state round allocates %.2f objects, want 0", got)
-	}
 }

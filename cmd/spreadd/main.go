@@ -14,6 +14,17 @@
 //	}'
 //	curl -s localhost:8080/v1/stats
 //
+// With -peers the daemon becomes a cluster COORDINATOR instead: the API is
+// unchanged, but POST /v1/runs jobs are planned into deterministic shards
+// and fanned out across the peer spreadd workers (internal/cluster), with
+// per-shard retry and re-dispatch around dead workers. -store additionally
+// persists every trial result to an append-only on-disk log keyed by the
+// spec's content address, so interrupted sweeps resume where they stopped
+// and repeated grids cost zero simulation across daemon restarts:
+//
+//	spreadd -addr :8081 &   spreadd -addr :8082 &          # workers
+//	spreadd -addr :8080 -peers localhost:8081,localhost:8082 -store ./results
+//
 // Small jobs answer synchronously; large ones return 202 with a
 // /v1/jobs/{id} to poll. SIGINT/SIGTERM shut the daemon down gracefully:
 // the listener stops, in-flight jobs drain (bounded by -drain-timeout, after
@@ -32,7 +43,9 @@ import (
 	"syscall"
 	"time"
 
+	"dynspread/internal/cluster"
 	"dynspread/internal/service"
+	"dynspread/internal/store"
 )
 
 func main() {
@@ -44,16 +57,46 @@ func main() {
 		cacheSize    = flag.Int("cache", 4096, "run-cache capacity in results")
 		syncLimit    = flag.Int("sync-limit", 16, "largest job answered synchronously")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+		peers        = flag.String("peers", "", "comma-separated spreadd worker base URLs; when set, this daemon coordinates: POST /v1/runs jobs are sharded across the peers")
+		storeDir     = flag.String("store", "", "persistent result-store directory (coordinator mode): stored trials are served from disk, new results appended")
+		shardSize    = flag.Int("shard-size", 0, "trials per shard in coordinator mode (0 = default)")
 	)
 	flag.Parse()
 
-	svc := service.New(service.Config{
+	cfg := service.Config{
 		Parallelism:    *parallelism,
 		QueueDepth:     *queueDepth,
 		JobWorkers:     *jobWorkers,
 		CacheSize:      *cacheSize,
 		SyncTrialLimit: *syncLimit,
-	})
+	}
+
+	mode := "worker"
+	if *peers != "" {
+		workers := service.SplitBaseURLs(*peers)
+		ccfg := cluster.Config{Workers: workers, ShardSize: *shardSize}
+		if *storeDir != "" {
+			st, err := store.Open(*storeDir)
+			if err != nil {
+				log.Fatalf("spreadd: %v", err)
+			}
+			defer st.Close()
+			ccfg.Store = st
+		}
+		coord, err := cluster.New(ccfg)
+		if err != nil {
+			log.Fatalf("spreadd: %v", err)
+		}
+		cfg.Runner = coord.RunSpecs
+		mode = fmt.Sprintf("coordinator over %d workers %v", len(workers), workers)
+		if *storeDir != "" {
+			mode += " (store " + *storeDir + ")"
+		}
+	} else if *storeDir != "" {
+		log.Fatal("spreadd: -store requires -peers (the result store is wired through the coordinator)")
+	}
+
+	svc := service.New(cfg)
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           svc.Handler(),
@@ -65,8 +108,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("spreadd: serving on %s (queue %d, %d job workers, cache %d)",
-		*addr, *queueDepth, *jobWorkers, *cacheSize)
+	log.Printf("spreadd: serving on %s as %s (queue %d, %d job workers, cache %d)",
+		*addr, mode, *queueDepth, *jobWorkers, *cacheSize)
 
 	select {
 	case err := <-errc:

@@ -8,6 +8,7 @@
 //	spreadsim -scenario quickstart -record run.jsonl
 //	spreadsim -replay run.jsonl -alg single-source # replay recorded dynamics
 //	spreadsim -scenario streaming -json            # machine-readable result
+//	spreadsim -n 64 -k 64 -remote http://host:8080 # execute on a spreadd
 //	spreadsim -list   # print every registered algorithm, adversary, scenario
 //
 // Algorithms, adversaries, and scenarios are resolved through their
@@ -19,17 +20,28 @@
 // per-trial result schema the spreadd service returns (see
 // internal/service), so scripted pipelines can consume either
 // interchangeably.
+//
+// -remote sends the SAME invocation to a spreadd daemon (or a -peers
+// cluster coordinator) instead of simulating in-process: the trial travels
+// as its wire spec, and the result comes back through the identical output
+// path — the human report or, with -json, the identical TrialResult object.
+// Runs are deterministic functions of their spec, so local and remote
+// execution of one invocation print the same numbers. -record and -replay
+// stay local-only: graph traces are not part of the wire schema.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"dynspread"
 	"dynspread/internal/registry"
 	"dynspread/internal/scenario"
+	"dynspread/internal/service"
 )
 
 func main() {
@@ -45,6 +57,7 @@ func main() {
 		sigma     = flag.Int("sigma", 3, "edge stability for the churn adversary")
 		record    = flag.String("record", "", "write the run's dynamics as a JSONL graph trace to this file")
 		replay    = flag.String("replay", "", "replay a JSONL graph trace as the dynamics (overrides -adv)")
+		remote    = flag.String("remote", "", "execute on this spreadd/cluster base URL instead of in-process")
 		asJSON    = flag.Bool("json", false, "emit one JSON object: resolved trial + metrics (the spreadd TrialResult schema)")
 		list      = flag.Bool("list", false, "list registered algorithms, adversaries, and scenarios, then exit")
 	)
@@ -111,25 +124,34 @@ func main() {
 		cfg.Replay = tr
 	}
 
+	// Execute: in-process by default, on a spreadd daemon with -remote.
+	// Either way the rest of main consumes one TrialResult, so the output
+	// paths (-json and the human report) are shared verbatim.
+	var (
+		res *dynspread.TrialResult
+		err error
+	)
+	if *remote != "" {
+		if *record != "" || *replay != "" {
+			fatalf("-record/-replay cannot be combined with -remote (graph traces are not part of the wire schema)")
+		}
+		res, err = runRemote(cfg, *remote)
+	} else if *record != "" {
+		var tr *dynspread.GraphTrace
+		res, tr, err = dynspread.RunFullRecorded(cfg)
+		if err == nil {
+			err = writeTrace(*record, tr)
+		}
+	} else {
+		res, err = dynspread.RunFull(cfg)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+
 	if *asJSON {
 		// One JSON object on stdout: the resolved trial plus metrics, in the
 		// spreadd service's per-trial result schema (dynspread.TrialResult).
-		var (
-			res *dynspread.TrialResult
-			err error
-		)
-		if *record != "" {
-			var tr *dynspread.GraphTrace
-			res, tr, err = dynspread.RunFullRecorded(cfg)
-			if err == nil {
-				err = writeTrace(*record, tr)
-			}
-		} else {
-			res, err = dynspread.RunFull(cfg)
-		}
-		if err != nil {
-			fatalf("%v", err)
-		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(res); err != nil {
@@ -138,22 +160,6 @@ func main() {
 		return
 	}
 
-	var (
-		rep *dynspread.Report
-		err error
-	)
-	if *record != "" {
-		var tr *dynspread.GraphTrace
-		rep, tr, err = dynspread.RunRecorded(cfg)
-		if err == nil {
-			err = writeTrace(*record, tr)
-		}
-	} else {
-		rep, err = dynspread.Run(cfg)
-	}
-	if err != nil {
-		fatalf("%v", err)
-	}
 	if *scen != "" {
 		fmt.Printf("scenario       %s\n", *scen)
 	}
@@ -162,24 +168,65 @@ func main() {
 		algName = "(scenario default)"
 	}
 	fmt.Printf("algorithm      %s\n", algName)
-	fmt.Printf("adversary      %s\n", rep.AdversaryName)
+	fmt.Printf("adversary      %s\n", res.Adversary)
+	if *remote != "" {
+		fmt.Printf("executed on    %s\n", *remote)
+	}
 	if *scen == "" {
 		fmt.Printf("instance       n=%d k=%d s=%d seed=%d\n", *n, *k, *s, *seed)
 	} else {
 		fmt.Printf("instance       seed=%d\n", *seed)
 	}
-	fmt.Printf("completed      %v in %d rounds\n", rep.Completed, rep.Rounds)
-	m := rep.Metrics
+	fmt.Printf("completed      %v in %d rounds\n", res.Completed, res.Rounds)
+	m := res.Metrics
 	fmt.Printf("messages       %d (tokens %d, requests %d, completeness %d, walks %d, control %d)\n",
 		m.Messages, m.TokenPayloads, m.RequestPayloads, m.CompletenessPayloads, m.WalkPayloads, m.ControlPayloads)
 	fmt.Printf("broadcasts     %d\n", m.Broadcasts)
 	fmt.Printf("learnings      %d\n", m.Learnings)
 	fmt.Printf("TC(E)          %d insertions, %d removals\n", m.TC, m.Removals)
-	fmt.Printf("amortized      %.2f messages/token\n", rep.Amortized)
-	fmt.Printf("competitive    %.0f residual (Messages − 1·TC)\n", rep.CompetitiveResidual)
+	fmt.Printf("amortized      %.2f messages/token\n", res.AmortizedPerToken)
+	fmt.Printf("competitive    %.0f residual (Messages − 1·TC)\n", res.CompetitiveResidual)
 	if *record != "" {
-		fmt.Printf("recorded       %d rounds of dynamics -> %s\n", rep.Rounds, *record)
+		fmt.Printf("recorded       %d rounds of dynamics -> %s\n", res.Rounds, *record)
 	}
+}
+
+// runRemote executes the invocation's wire spec on a spreadd daemon via the
+// service client, waiting out queued jobs. The spec carries exactly what
+// the flags resolved to (classic runs always have a concrete algorithm and
+// adversary from the flag defaults; scenario runs leave blanks for the
+// scenario's own defaults), so local and remote execution run the same
+// trial.
+func runRemote(cfg dynspread.Config, base string) (*dynspread.TrialResult, error) {
+	spec := dynspread.TrialSpec{
+		Scenario:  string(cfg.Scenario),
+		N:         cfg.N,
+		K:         cfg.K,
+		Sources:   cfg.Sources,
+		Algorithm: string(cfg.Algorithm),
+		Adversary: string(cfg.Adversary),
+		Seed:      cfg.Seed,
+		MaxRounds: cfg.MaxRounds,
+		Sigma:     cfg.Sigma,
+	}
+	client := &service.Client{BaseURL: service.NormalizeBaseURL(base), Timeout: 2 * time.Minute}
+	ctx := context.Background()
+	st, err := client.Run(ctx, dynspread.RunRequest{Trials: []dynspread.TrialSpec{spec}})
+	if err != nil {
+		return nil, err
+	}
+	if st.State != service.JobDone {
+		if st, err = client.WaitJob(ctx, st.ID, 0); err != nil {
+			return nil, err
+		}
+	}
+	if st.State != service.JobDone {
+		return nil, fmt.Errorf("remote job %s ended %s: %s", st.ID, st.State, st.Error)
+	}
+	if len(st.Results) != 1 {
+		return nil, fmt.Errorf("remote job %s returned %d results for 1 trial", st.ID, len(st.Results))
+	}
+	return &st.Results[0], nil
 }
 
 func writeTrace(path string, tr *dynspread.GraphTrace) error {

@@ -36,11 +36,23 @@
 //   - internal/sweep — declarative trial grids (including a scenarios axis)
 //     executed on a context-cancellable worker pool sized to GOMAXPROCS
 //     with per-worker buffer reuse and a per-result progress hook,
+//   - internal/wire — the wire schema (this package re-exports it:
+//     TrialSpec, GridSpec, RunRequest, TrialResult) plus the content
+//     address Key every cache and store keys on,
 //   - internal/service — the simulation service behind cmd/spreadd: an HTTP
-//     daemon scheduling trial/sweep jobs (this package's wire types —
-//     TrialSpec, GridSpec, RunRequest, TrialResult) on a bounded queue over
-//     the sweep pool, with a content-addressed LRU run cache so repeated
-//     requests cost zero simulation work, and
+//     daemon scheduling trial/sweep jobs on a bounded queue over a
+//     pluggable execution backend (the in-process sweep pool by default),
+//     with a content-addressed LRU run cache so repeated requests cost
+//     zero simulation work,
+//   - internal/cluster — the distributed sweep tier: a coordinator that
+//     plans deterministic, size-balanced shards, dispatches them across a
+//     pool of spreadd workers with per-shard retry and re-dispatch around
+//     dead workers, and merges streamed results bit-identical to a local
+//     run (spreadd -peers serves it; spreadctl sweep embeds it;
+//     RunDistributed is the library facade),
+//   - internal/store — the append-only JSONL result log keyed by spec
+//     content address that makes distributed sweeps resumable (interrupted
+//     runs skip stored keys; warm re-runs simulate nothing), and
 //   - internal/experiments — the harness that regenerates every table and
 //     figure (see EXPERIMENTS.md).
 //
@@ -70,7 +82,9 @@
 // trials, use internal/sweep's grids instead of calling Run in a loop; to
 // serve simulations over HTTP with result caching, run cmd/spreadd (see
 // the README's curl quickstart). RunFull and RunSpecs produce the service's
-// machine-readable TrialResult schema in-process.
+// machine-readable TrialResult schema in-process; RunDistributed executes
+// the same requests across a pool of spreadd workers (see the README's
+// cluster quickstart and cmd/spreadctl).
 //
 // See the examples/ directory for runnable scenarios and cmd/ for the CLI
 // tools (spreadsim -list prints every registered component).

@@ -13,6 +13,7 @@ import (
 	"dynspread/internal/sim"
 	"dynspread/internal/sweep"
 	"dynspread/internal/trace"
+	"dynspread/internal/wire"
 )
 
 // Metrics re-exports the engine's communication-cost measures (messages per
@@ -192,7 +193,7 @@ func RunFull(cfg Config) (*TrialResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	tr := trialResult(r)
+	tr := wire.ResultFromSweep(r)
 	return &tr, nil
 }
 
@@ -214,7 +215,7 @@ func RunFullRecorded(cfg Config) (*TrialResult, *GraphTrace, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	res := trialResult(r)
+	res := wire.ResultFromSweep(r)
 	return &res, gt, nil
 }
 

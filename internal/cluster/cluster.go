@@ -1,0 +1,476 @@
+// Package cluster is the distributed execution tier above the spreadd
+// service: a coordinator that takes the same wire-form trial lists and
+// grids a single daemon accepts, plans deterministic shards (key-sorted,
+// size-balanced — see Plan), dispatches them concurrently to a pool of
+// spreadd workers through service.Client, and merges the streamed per-trial
+// results back into input order, bit-identical to a local sweep.Run over
+// the same specs.
+//
+// Fault tolerance is per shard: a failed dispatch is retried on a
+// deterministic backoff schedule and re-enqueued for ANY live worker, so a
+// worker that dies mid-sweep has its outstanding shards re-dispatched to
+// the survivors; a worker that keeps failing is marked dead and stops
+// receiving work. Permanent errors (HTTP 4xx — the request itself is bad)
+// fail the run immediately, matching sweep.Run's first-error-wins contract.
+//
+// An optional persistent result store (internal/store) short-circuits
+// every trial whose content address is already on disk and logs every newly
+// computed result, which makes a sweep resumable after an interruption —
+// and makes the coordinator a cross-run cache: re-running a finished grid
+// performs zero simulations.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynspread/internal/service"
+	"dynspread/internal/stats"
+	"dynspread/internal/store"
+	"dynspread/internal/wire"
+)
+
+// Config describes a coordinator.
+type Config struct {
+	// Workers are the base URLs of the spreadd workers (required, >= 1).
+	Workers []string
+	// HTTPClient, when non-nil, is shared by every worker client.
+	HTTPClient *http.Client
+	// RequestTimeout backstops every single worker request made with a
+	// deadline-free context (default 2m; shard execution itself is
+	// dispatched asynchronously and polled, so no request legitimately
+	// takes long).
+	RequestTimeout time.Duration
+	// ShardSize is the target trials per shard (<= 0 = DefaultShardSize).
+	ShardSize int
+	// Backoff is the deterministic per-shard retry schedule: attempt i
+	// sleeps Backoff[min(i, len-1)] before re-dispatch. Defaults to
+	// {0, 100ms, 400ms, 1s}.
+	Backoff []time.Duration
+	// FailureLimit is the number of CONSECUTIVE failures after which a
+	// worker is marked dead and stops receiving shards (default 3).
+	FailureLimit int
+	// MaxShardAttempts caps total dispatch attempts of one shard before the
+	// run fails (default 4 × len(Workers)).
+	MaxShardAttempts int
+	// Poll is the job-progress poll interval (default 25ms).
+	Poll time.Duration
+	// Store, when non-nil, is the persistent result log: trials already
+	// stored are served from it without dispatch, and every new result is
+	// appended, making the sweep resumable and cached across runs.
+	Store *store.Store
+}
+
+func (c Config) withDefaults() Config {
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 2 * time.Minute
+	}
+	if len(c.Backoff) == 0 {
+		c.Backoff = []time.Duration{0, 100 * time.Millisecond, 400 * time.Millisecond, time.Second}
+	}
+	if c.FailureLimit <= 0 {
+		c.FailureLimit = 3
+	}
+	if c.MaxShardAttempts <= 0 {
+		c.MaxShardAttempts = 4 * len(c.Workers)
+	}
+	if c.Poll <= 0 {
+		c.Poll = 25 * time.Millisecond
+	}
+	return c
+}
+
+// Stats are cumulative coordinator counters across Run calls.
+type Stats struct {
+	// Trials is the total number of requested trials (duplicates included);
+	// StoreHits of them were served from the persistent store and Deduped
+	// shared another instance's execution; Dispatched were sent to workers.
+	Trials, StoreHits, Deduped, Dispatched int64
+	// WorkerCacheHits counts dispatched trials the workers answered from
+	// their own run caches rather than simulating.
+	WorkerCacheHits int64
+	// Shards and Retries count dispatched shards and re-dispatch attempts;
+	// DeadWorkers counts workers marked dead.
+	Shards, Retries, DeadWorkers int64
+}
+
+// Coordinator fans trial lists out over a worker pool. Safe for concurrent
+// use; create one with New.
+type Coordinator struct {
+	cfg     Config
+	clients []*service.Client
+
+	mu       sync.Mutex
+	failures []int  // consecutive failures per worker
+	dead     []bool // workers marked dead
+
+	stats struct {
+		trials, storeHits, deduped, dispatched atomic.Int64
+		workerCacheHits                        atomic.Int64
+		shards, retries, deadWorkers           atomic.Int64
+	}
+}
+
+// New builds a coordinator over cfg.Workers.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("cluster: no workers configured")
+	}
+	cfg = cfg.withDefaults()
+	c := &Coordinator{
+		cfg:      cfg,
+		clients:  make([]*service.Client, len(cfg.Workers)),
+		failures: make([]int, len(cfg.Workers)),
+		dead:     make([]bool, len(cfg.Workers)),
+	}
+	for i, base := range cfg.Workers {
+		c.clients[i] = &service.Client{
+			BaseURL:    base,
+			HTTPClient: cfg.HTTPClient,
+			Timeout:    cfg.RequestTimeout,
+		}
+	}
+	return c, nil
+}
+
+// Stats snapshots the coordinator counters.
+func (c *Coordinator) Stats() Stats {
+	return Stats{
+		Trials:          c.stats.trials.Load(),
+		StoreHits:       c.stats.storeHits.Load(),
+		Deduped:         c.stats.deduped.Load(),
+		Dispatched:      c.stats.dispatched.Load(),
+		WorkerCacheHits: c.stats.workerCacheHits.Load(),
+		Shards:          c.stats.shards.Load(),
+		Retries:         c.stats.retries.Load(),
+		DeadWorkers:     c.stats.deadWorkers.Load(),
+	}
+}
+
+// Workers returns (alive, total) worker counts.
+func (c *Coordinator) Workers() (alive, total int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, d := range c.dead {
+		if !d {
+			alive++
+		}
+	}
+	return alive, len(c.dead)
+}
+
+// recordFailure notes one failed dispatch on worker w and reports whether
+// the worker just crossed the failure limit and is now dead.
+func (c *Coordinator) recordFailure(w int) (nowDead bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead[w] {
+		return false
+	}
+	c.failures[w]++
+	if c.failures[w] >= c.cfg.FailureLimit {
+		c.dead[w] = true
+		c.stats.deadWorkers.Add(1)
+		return true
+	}
+	return false
+}
+
+// reviveDeadWorkers puts every dead worker back in rotation on probation:
+// one more failure re-kills it, one success fully restores it.
+func (c *Coordinator) reviveDeadWorkers() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for w := range c.dead {
+		if c.dead[w] {
+			c.dead[w] = false
+			c.failures[w] = c.cfg.FailureLimit - 1
+		}
+	}
+}
+
+func (c *Coordinator) recordSuccess(w int) {
+	c.mu.Lock()
+	c.failures[w] = 0
+	c.mu.Unlock()
+}
+
+// RunGrid expands a grid and runs it distributed; see Run.
+func (c *Coordinator) RunGrid(ctx context.Context, g wire.GridSpec, onResult func(i int, r wire.TrialResult)) ([]wire.TrialResult, error) {
+	specs, err := g.Trials()
+	if err != nil {
+		return nil, err
+	}
+	return c.Run(ctx, specs, onResult)
+}
+
+// RunSpecs adapts the coordinator to the service layer's Runner signature,
+// which is how a coordinator-mode spreadd shards POST /v1/runs jobs
+// transparently: the service's queueing/caching/progress machinery calls
+// this instead of the in-process sweep pool. parallelism is the workers'
+// concern and is ignored.
+func (c *Coordinator) RunSpecs(ctx context.Context, specs []wire.TrialSpec, _ int, onResult func(i int, r wire.TrialResult)) ([]wire.TrialResult, error) {
+	return c.Run(ctx, specs, onResult)
+}
+
+// Run executes wire-form trials across the worker pool and returns their
+// results in input order, bit-identical to a local sweep over the same
+// specs. onResult, when non-nil, streams each trial's result as soon as it
+// is known (store hits first, then shard completions) — calls are
+// concurrent and unordered, matching the sweep layer's OnResult contract.
+// The first permanent error (bad spec, exhausted retries, every worker
+// dead, cancellation) fails the run and no results are returned.
+func (c *Coordinator) Run(ctx context.Context, specs []wire.TrialSpec, onResult func(i int, r wire.TrialResult)) ([]wire.TrialResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.stats.trials.Add(int64(len(specs)))
+	results := make([]wire.TrialResult, len(specs))
+	// indexByKey maps each unique content address to every input index
+	// holding it; one execution serves them all. The store is consulted
+	// exactly once per unique key, and the snapshot taken here is what gets
+	// served — a concurrent writer adding a key after this pass cannot make
+	// a trial both store-served and dispatched (delivery dedups on the
+	// store, so each index still gets exactly one result).
+	indexByKey := make(map[string][]int, len(specs))
+	hits := make(map[string]wire.TrialResult)
+	var missing []keyedSpec
+	for i, s := range specs {
+		if s.Replay {
+			return nil, fmt.Errorf("cluster: spec %d replays a recorded trace, which is not part of the wire schema", i)
+		}
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("%w (spec %d)", err, i)
+		}
+		s = s.Normalized()
+		k := wire.Key(s)
+		if prev, dup := indexByKey[k]; dup {
+			c.stats.deduped.Add(1)
+			indexByKey[k] = append(prev, i)
+			continue
+		}
+		indexByKey[k] = []int{i}
+		if c.cfg.Store != nil {
+			if res, ok := c.cfg.Store.Get(k); ok {
+				hits[k] = res // served below, once indexByKey is complete
+				continue
+			}
+		}
+		missing = append(missing, keyedSpec{key: k, spec: s})
+	}
+	for k, res := range hits {
+		for _, i := range indexByKey[k] {
+			results[i] = res
+			c.stats.storeHits.Add(1)
+			if onResult != nil {
+				onResult(i, res)
+			}
+		}
+	}
+
+	plan := planKeyed(missing, c.cfg.ShardSize)
+	if len(plan) == 0 {
+		return results, nil
+	}
+	c.stats.shards.Add(int64(len(plan)))
+	if err := c.dispatch(ctx, plan, func(key string, res wire.TrialResult) error {
+		if c.cfg.Store != nil {
+			if err := c.cfg.Store.Put(key, res); err != nil {
+				return err
+			}
+		}
+		for _, i := range indexByKey[key] {
+			results[i] = res
+			if onResult != nil {
+				onResult(i, res)
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// shardAttempt pairs a planned shard with how many times it has been
+// dispatched already.
+type shardAttempt struct {
+	shard   wire.ShardRequest
+	attempt int
+}
+
+// dispatch drives the shard plan to completion over the live workers,
+// calling deliver (serialized per shard, concurrent across shards) for
+// every completed trial.
+func (c *Coordinator) dispatch(ctx context.Context, plan []wire.ShardRequest, deliver func(key string, res wire.TrialResult) error) error {
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	// A worker marked dead in an earlier Run gets one probation shard per
+	// dispatch: a long-lived coordinator (spreadd -peers) must pick a
+	// restarted worker back up, and the alive accounting below assumes
+	// every goroutine it spawns starts alive.
+	c.reviveDeadWorkers()
+
+	// Every shard is in exactly one place at a time (the queue, a worker's
+	// hands, or a backoff timer), so the buffer can never overflow.
+	work := make(chan shardAttempt, len(plan))
+	for _, sh := range plan {
+		work <- shardAttempt{shard: sh}
+	}
+	var (
+		outstanding atomic.Int64 // shards not yet completed
+		alive       atomic.Int64 // workers not marked dead
+		done        = make(chan struct{})
+		failOnce    sync.Once
+		failErr     error
+	)
+	outstanding.Store(int64(len(plan)))
+	alive.Store(int64(len(c.clients)))
+	fail := func(err error) {
+		failOnce.Do(func() { failErr = err; cancel() })
+	}
+
+	var wg sync.WaitGroup
+	for w := range c.clients {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case <-done:
+					return
+				case sa := <-work:
+					if err := c.runShard(runCtx, w, sa.shard, deliver); err != nil {
+						if runCtx.Err() != nil {
+							return
+						}
+						var fe *deliveryError
+						if errors.As(err, &fe) {
+							// Coordinator-local (store/merge) failure: another
+							// worker cannot fix it, and retrying would deliver
+							// the shard's earlier trials twice.
+							fail(fmt.Errorf("cluster: shard %d/%d: %w", sa.shard.Shard, sa.shard.Shards, fe.err))
+							return
+						}
+						if service.IsPermanent(err) {
+							fail(fmt.Errorf("cluster: shard %d/%d: %w", sa.shard.Shard, sa.shard.Shards, err))
+							return
+						}
+						sa.attempt++
+						c.stats.retries.Add(1)
+						if sa.attempt >= c.cfg.MaxShardAttempts {
+							fail(fmt.Errorf("cluster: shard %d/%d failed %d times, giving up: %w", sa.shard.Shard, sa.shard.Shards, sa.attempt, err))
+							return
+						}
+						// Re-enqueue on the deterministic backoff schedule;
+						// the timer hands the shard to whichever worker is
+						// free then — re-dispatch to the survivors is this
+						// line, not a special case.
+						backoff := c.cfg.Backoff[min(sa.attempt-1, len(c.cfg.Backoff)-1)]
+						time.AfterFunc(backoff, func() { work <- sa })
+						if c.recordFailure(w) {
+							// This worker is dead; the re-enqueued shard goes
+							// to a survivor — unless there are none.
+							if alive.Add(-1) == 0 {
+								fail(fmt.Errorf("cluster: all %d workers dead with %d shards outstanding", len(c.clients), outstanding.Load()))
+							}
+							return
+						}
+						continue
+					}
+					c.recordSuccess(w)
+					if outstanding.Add(-1) == 0 {
+						close(done)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if failErr != nil {
+		return failErr
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// runShard executes one shard on worker w: an async submit, a poll to
+// terminal state, and delivery of every per-trial result.
+func (c *Coordinator) runShard(ctx context.Context, w int, sh wire.ShardRequest, deliver func(key string, res wire.TrialResult) error) error {
+	client := c.clients[w]
+	req := sh.RunRequest()
+	// Async keeps every HTTP request short (submit + cheap polls), so
+	// RequestTimeout can stay tight without capping shard execution time.
+	req.Async = true
+	st, err := client.Run(ctx, req)
+	if err != nil {
+		return err
+	}
+	if st.State != service.JobDone {
+		st, err = client.WaitJob(ctx, st.ID, c.cfg.Poll)
+		if err != nil {
+			return err
+		}
+	}
+	switch st.State {
+	case service.JobDone:
+	case service.JobFailed:
+		// A failed job is deterministic (bad spec, unknown registry name):
+		// re-running it elsewhere fails identically.
+		return &service.HTTPError{StatusCode: 400, Method: "JOB", Path: "/v1/jobs/" + st.ID, Message: st.Error}
+	default:
+		return fmt.Errorf("cluster: worker %s ended shard %d in state %q: %s", c.cfg.Workers[w], sh.Shard, st.State, st.Error)
+	}
+	if len(st.Results) != len(sh.Trials) {
+		return fmt.Errorf("cluster: worker %s returned %d results for %d trials", c.cfg.Workers[w], len(st.Results), len(sh.Trials))
+	}
+	c.stats.dispatched.Add(int64(len(sh.Trials)))
+	c.stats.workerCacheHits.Add(int64(st.CacheHits))
+	for i, res := range st.Results {
+		if err := deliver(sh.Keys[i], res); err != nil {
+			return &deliveryError{err: err}
+		}
+	}
+	return nil
+}
+
+// deliveryError marks a coordinator-local failure (persisting or merging a
+// result) as distinct from a worker failure: dispatch must fail the run
+// instead of blaming — and retrying on — a healthy worker.
+type deliveryError struct{ err error }
+
+func (e *deliveryError) Error() string { return e.err.Error() }
+func (e *deliveryError) Unwrap() error { return e.err }
+
+// Aggregate summarizes one metric over wire-form results — the distributed
+// counterpart of sweep.Aggregate, producing bit-identical summaries for
+// identical result sequences.
+func Aggregate(results []wire.TrialResult, metric func(wire.TrialResult) float64) stats.Summary {
+	xs := make([]float64, 0, len(results))
+	for _, r := range results {
+		xs = append(xs, metric(r))
+	}
+	return stats.Summarize(xs)
+}
+
+// Common metric extractors for Aggregate, mirroring the sweep layer's.
+var (
+	// Messages extracts the trial's total message count.
+	Messages = func(r wire.TrialResult) float64 { return float64(r.Metrics.Messages) }
+	// Rounds extracts the trial's round count.
+	Rounds = func(r wire.TrialResult) float64 { return float64(r.Rounds) }
+	// TC extracts the adversary's topological-change count.
+	TC = func(r wire.TrialResult) float64 { return float64(r.Metrics.TC) }
+	// AmortizedPerToken extracts Messages/K.
+	AmortizedPerToken = func(r wire.TrialResult) float64 { return r.AmortizedPerToken }
+)

@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"sort"
+
+	"dynspread/internal/wire"
+)
+
+// DefaultShardSize is the target number of trials per shard: large enough
+// that one dispatch amortizes its HTTP round trip over a worker's whole
+// sweep pool, small enough that losing a worker mid-shard wastes little
+// work and stragglers rebalance.
+const DefaultShardSize = 16
+
+// Plan plans the shards of a distributed sweep: it deduplicates specs by
+// content address, sorts the unique trials by key, and chunks them into
+// size-balanced shards of at most shardSize trials (shardSize <= 0 selects
+// DefaultShardSize; sizes across shards differ by at most one).
+//
+// The plan is a deterministic function of the trial SET alone — duplicate
+// and reordered inputs, and any number of workers, yield byte-identical
+// shards. That determinism is what makes a resumed or re-run sweep line up
+// with its predecessor's shard boundaries, so progress accounting and
+// result logs from different attempts compose.
+func Plan(specs []wire.TrialSpec, shardSize int) []wire.ShardRequest {
+	seen := make(map[string]bool, len(specs))
+	unique := make([]keyedSpec, 0, len(specs))
+	for _, s := range specs {
+		s = s.Normalized()
+		k := wire.Key(s)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		unique = append(unique, keyedSpec{key: k, spec: s})
+	}
+	return planKeyed(unique, shardSize)
+}
+
+// keyedSpec pairs a normalized spec with its content address, so callers
+// that already computed keys (the coordinator's store/dedup pass) never
+// hash a spec twice.
+type keyedSpec struct {
+	key  string
+	spec wire.TrialSpec
+}
+
+// planKeyed is Plan over already-deduplicated (key, spec) pairs.
+func planKeyed(unique []keyedSpec, shardSize int) []wire.ShardRequest {
+	if shardSize <= 0 {
+		shardSize = DefaultShardSize
+	}
+	unique = append([]keyedSpec(nil), unique...)
+	sort.Slice(unique, func(a, b int) bool { return unique[a].key < unique[b].key })
+
+	n := len(unique)
+	if n == 0 {
+		return nil
+	}
+	shards := (n + shardSize - 1) / shardSize
+	base, extra := n/shards, n%shards // first `extra` shards get base+1
+	plan := make([]wire.ShardRequest, 0, shards)
+	at := 0
+	for i := 0; i < shards; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		sh := wire.ShardRequest{
+			Shard:  i,
+			Shards: shards,
+			Keys:   make([]string, size),
+			Trials: make([]wire.TrialSpec, size),
+		}
+		for j := 0; j < size; j++ {
+			sh.Keys[j] = unique[at].key
+			sh.Trials[j] = unique[at].spec
+			at++
+		}
+		plan = append(plan, sh)
+	}
+	return plan
+}

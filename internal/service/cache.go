@@ -2,30 +2,19 @@ package service
 
 import (
 	"container/list"
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
 	"sync"
 	"sync/atomic"
 
-	"dynspread"
+	"dynspread/internal/wire"
 )
 
-// Key returns the content address of one trial: the SHA-256 of the
-// normalized spec's canonical JSON encoding. encoding/json marshals struct
-// fields in declared order, so the encoding — and therefore the key — is a
-// deterministic function of the spec, and every execution is a
-// deterministic function of its spec (ROADMAP's "same inputs, same
-// metrics"), which is what makes cached results safe to serve verbatim.
-func Key(spec dynspread.TrialSpec) string {
-	b, err := json.Marshal(spec.Normalized())
-	if err != nil {
-		// A TrialSpec is plain data; marshaling cannot fail.
-		panic("service: marshal trial spec: " + err.Error())
-	}
-	sum := sha256.Sum256(b)
-	return hex.EncodeToString(sum[:])
-}
+// Key returns the content address of one trial (wire.Key): the SHA-256 of
+// the normalized spec's canonical JSON encoding. The key is a deterministic
+// function of the spec, and every execution is a deterministic function of
+// its spec (ROADMAP's "same inputs, same metrics"), which is what makes
+// cached results safe to serve verbatim — and what the cluster coordinator
+// and the persistent store key on too.
+func Key(spec wire.TrialSpec) string { return wire.Key(spec) }
 
 // CacheStats is the wire form of the cache counters in /v1/stats.
 type CacheStats struct {
@@ -49,7 +38,7 @@ type Cache struct {
 
 type cacheEntry struct {
 	key string
-	res dynspread.TrialResult
+	res wire.TrialResult
 }
 
 // NewCache returns a cache bounded to capacity entries (capacity < 1 is
@@ -67,13 +56,13 @@ func NewCache(capacity int) *Cache {
 
 // Get looks the key up, marking the entry most recently used and counting a
 // hit or a miss.
-func (c *Cache) Get(key string) (dynspread.TrialResult, bool) {
+func (c *Cache) Get(key string) (wire.TrialResult, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
 		c.misses.Add(1)
-		return dynspread.TrialResult{}, false
+		return wire.TrialResult{}, false
 	}
 	c.hits.Add(1)
 	c.ll.MoveToFront(el)
@@ -82,7 +71,7 @@ func (c *Cache) Get(key string) (dynspread.TrialResult, bool) {
 
 // Put stores res under key, evicting the least recently used entry when the
 // cache is full. Storing an existing key refreshes its recency.
-func (c *Cache) Put(key string, res dynspread.TrialResult) {
+func (c *Cache) Put(key string, res wire.TrialResult) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {

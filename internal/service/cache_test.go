@@ -4,11 +4,11 @@ import (
 	"fmt"
 	"testing"
 
-	"dynspread"
+	"dynspread/internal/wire"
 )
 
 func TestKeyIsDeterministicAndDiscriminating(t *testing.T) {
-	a := dynspread.TrialSpec{N: 16, K: 8, Algorithm: "single-source", Adversary: "churn", Seed: 1}
+	a := wire.TrialSpec{N: 16, K: 8, Algorithm: "single-source", Adversary: "churn", Seed: 1}
 	if Key(a) != Key(a) {
 		t.Fatal("same spec hashed to different keys")
 	}
@@ -18,14 +18,14 @@ func TestKeyIsDeterministicAndDiscriminating(t *testing.T) {
 	if Key(a) != Key(explicit) {
 		t.Fatal("sources=0 and sources=1 must share a key for classic trials")
 	}
-	distinct := []dynspread.TrialSpec{a}
-	for _, mutate := range []func(*dynspread.TrialSpec){
-		func(s *dynspread.TrialSpec) { s.Seed = 2 },
-		func(s *dynspread.TrialSpec) { s.K = 9 },
-		func(s *dynspread.TrialSpec) { s.Algorithm = "topkis" },
-		func(s *dynspread.TrialSpec) { s.Adversary = "static" },
-		func(s *dynspread.TrialSpec) { s.Sigma = 5 },
-		func(s *dynspread.TrialSpec) { s.Arrivals = []int{0, 0, 0, 0, 1, 1, 1, 1} },
+	distinct := []wire.TrialSpec{a}
+	for _, mutate := range []func(*wire.TrialSpec){
+		func(s *wire.TrialSpec) { s.Seed = 2 },
+		func(s *wire.TrialSpec) { s.K = 9 },
+		func(s *wire.TrialSpec) { s.Algorithm = "topkis" },
+		func(s *wire.TrialSpec) { s.Adversary = "static" },
+		func(s *wire.TrialSpec) { s.Sigma = 5 },
+		func(s *wire.TrialSpec) { s.Arrivals = []int{0, 0, 0, 0, 1, 1, 1, 1} },
 	} {
 		v := a
 		mutate(&v)
@@ -43,8 +43,8 @@ func TestKeyIsDeterministicAndDiscriminating(t *testing.T) {
 
 func TestCacheLRUEvictionAndCounters(t *testing.T) {
 	c := NewCache(2)
-	res := func(rounds int) dynspread.TrialResult {
-		return dynspread.TrialResult{Rounds: rounds, Completed: true}
+	res := func(rounds int) wire.TrialResult {
+		return wire.TrialResult{Rounds: rounds, Completed: true}
 	}
 	if _, ok := c.Get("a"); ok {
 		t.Fatal("empty cache hit")
@@ -79,7 +79,7 @@ func TestCacheLRUEvictionAndCounters(t *testing.T) {
 func TestCacheCapacityClamp(t *testing.T) {
 	c := NewCache(0)
 	for i := 0; i < 3; i++ {
-		c.Put(fmt.Sprint(i), dynspread.TrialResult{Rounds: i})
+		c.Put(fmt.Sprint(i), wire.TrialResult{Rounds: i})
 	}
 	if c.Len() != 1 {
 		t.Fatalf("len = %d, want 1", c.Len())

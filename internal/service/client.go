@@ -4,21 +4,86 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
-	"dynspread"
+	"dynspread/internal/wire"
 )
 
-// Client is a small Go client for the spreadd API; the end-to-end suite
-// drives the server through it. The zero value is not usable — set BaseURL.
+// Client is a small Go client for the spreadd API; the end-to-end suite and
+// the cluster coordinator drive servers through it. The zero value is not
+// usable — set BaseURL.
+//
+// Every request carries its context, so cancelling ctx or letting its
+// deadline expire aborts the request (including one stalled inside a hung
+// worker) with ctx's error. Timeout additionally bounds requests whose
+// context has NO deadline — without it, a caller passing
+// context.Background() against a wedged server would block forever.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://localhost:8080" (no /v1).
 	BaseURL string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+	// Timeout, when > 0, caps each request that arrives with no context
+	// deadline; contexts that already carry a deadline are used as-is.
+	// It bounds single requests, never a whole WaitJob poll loop.
+	Timeout time.Duration
+}
+
+// HTTPError is the typed error for non-2xx responses: callers (the cluster
+// coordinator's retry logic, notably) use StatusCode to tell permanent
+// request errors (4xx — retrying elsewhere cannot help) from transient
+// server-side ones.
+type HTTPError struct {
+	StatusCode int
+	Method     string
+	Path       string
+	// Message is the server's error body, when it sent one.
+	Message string
+}
+
+func (e *HTTPError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("service: %s %s: %s (HTTP %d)", e.Method, e.Path, e.Message, e.StatusCode)
+	}
+	return fmt.Sprintf("service: %s %s: HTTP %d", e.Method, e.Path, e.StatusCode)
+}
+
+// IsPermanent reports whether err is an HTTP error that will fail the same
+// way on any healthy worker (a 4xx: the request itself is bad).
+func IsPermanent(err error) bool {
+	var he *HTTPError
+	return errors.As(err, &he) && he.StatusCode >= 400 && he.StatusCode < 500
+}
+
+// NormalizeBaseURL canonicalizes one server base URL the way every CLI
+// accepts them: whitespace trimmed, a bare host:port defaulted to http://,
+// and no trailing slash. An empty input stays empty.
+func NormalizeBaseURL(s string) string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return ""
+	}
+	if !strings.Contains(s, "://") {
+		s = "http://" + s
+	}
+	return strings.TrimRight(s, "/")
+}
+
+// SplitBaseURLs parses a comma-separated base-URL list (the -peers/-workers
+// flag format), normalizing each entry and dropping empties.
+func SplitBaseURLs(list string) []string {
+	var out []string
+	for _, p := range strings.Split(list, ",") {
+		if p = NormalizeBaseURL(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -29,6 +94,14 @@ func (c *Client) httpClient() *http.Client {
 }
 
 func (c *Client) do(ctx context.Context, method, path string, body, out any) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline && c.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.Timeout)
+		defer cancel()
+	}
 	var rd io.Reader
 	if body != nil {
 		b, err := json.Marshal(body)
@@ -46,15 +119,21 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) (in
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
+		// Surface the context's own error for cancellations/deadlines so
+		// callers can errors.Is against context.Canceled/DeadlineExceeded.
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return 0, fmt.Errorf("service: %s %s: %w", method, path, ctxErr)
+		}
 		return 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		he := &HTTPError{StatusCode: resp.StatusCode, Method: method, Path: path}
 		var eb errorBody
 		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
-			return resp.StatusCode, fmt.Errorf("service: %s %s: %s (HTTP %d)", method, path, eb.Error, resp.StatusCode)
+			he.Message = eb.Error
 		}
-		return resp.StatusCode, fmt.Errorf("service: %s %s: HTTP %d", method, path, resp.StatusCode)
+		return resp.StatusCode, he
 	}
 	if out != nil {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
@@ -67,7 +146,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) (in
 // Run submits a run request. Small jobs come back completed (state "done",
 // results populated); queued jobs come back state "queued" — follow up with
 // Job or WaitJob.
-func (c *Client) Run(ctx context.Context, req dynspread.RunRequest) (JobStatus, error) {
+func (c *Client) Run(ctx context.Context, req wire.RunRequest) (JobStatus, error) {
 	var st JobStatus
 	_, err := c.do(ctx, http.MethodPost, "/v1/runs", req, &st)
 	return st, err
@@ -78,6 +157,14 @@ func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
 	var st JobStatus
 	_, err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
 	return st, err
+}
+
+// Jobs fetches the job listing: every addressable job (without result
+// payloads), sorted by submission order, plus counts by state.
+func (c *Client) Jobs(ctx context.Context) (JobList, error) {
+	var jl JobList
+	_, err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &jl)
+	return jl, err
 }
 
 // WaitJob polls a job until it reaches a terminal state (done, failed,

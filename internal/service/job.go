@@ -5,7 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"dynspread"
+	"dynspread/internal/wire"
 )
 
 // JobState is the lifecycle of one submitted job.
@@ -27,20 +27,21 @@ const (
 // complete instantly, simulated trials as the sweep pool reports them — so
 // Completed/Total is live progress.
 type JobStatus struct {
-	ID          string                  `json:"id"`
-	State       JobState                `json:"state"`
-	Total       int                     `json:"total"`
-	Completed   int                     `json:"completed"`
-	CacheHits   int                     `json:"cache_hits"`
-	CacheMisses int                     `json:"cache_misses"`
-	Error       string                  `json:"error,omitempty"`
-	Results     []dynspread.TrialResult `json:"results,omitempty"`
+	ID          string             `json:"id"`
+	State       JobState           `json:"state"`
+	Total       int                `json:"total"`
+	Completed   int                `json:"completed"`
+	CacheHits   int                `json:"cache_hits"`
+	CacheMisses int                `json:"cache_misses"`
+	Error       string             `json:"error,omitempty"`
+	Results     []wire.TrialResult `json:"results,omitempty"`
 }
 
 // job is one unit on the queue: a batch of specs with live progress.
 type job struct {
 	id    string
-	specs []dynspread.TrialSpec
+	seq   int // submission order; the sort key of GET /v1/jobs
+	specs []wire.TrialSpec
 
 	completed              atomic.Int64
 	cacheHits, cacheMisses atomic.Int64
@@ -52,16 +53,17 @@ type job struct {
 	mu      sync.Mutex
 	state   JobState
 	err     error
-	results []dynspread.TrialResult
+	results []wire.TrialResult
 	done    chan struct{}
 }
 
-func newJob(id string, specs []dynspread.TrialSpec) *job {
+func newJob(id string, seq int, specs []wire.TrialSpec) *job {
 	return &job{
 		id:      id,
+		seq:     seq,
 		specs:   specs,
 		state:   JobQueued,
-		results: make([]dynspread.TrialResult, len(specs)),
+		results: make([]wire.TrialResult, len(specs)),
 		done:    make(chan struct{}),
 	}
 }

@@ -1,10 +1,10 @@
 // Package service is the simulation-service layer behind cmd/spreadd: a
 // long-running HTTP daemon that serves conf_icdcs_AhmadiKKMP19's k-token
 // dissemination simulations to many concurrent clients. Jobs arrive as JSON
-// (dynspread.RunRequest — trials and grids naming algorithms, adversaries,
+// (wire.RunRequest — trials and grids naming algorithms, adversaries,
 // and scenarios by registry name), are scheduled on a bounded job queue
 // whose workers execute trials on the context-cancellable sweep pool, and
-// return dynspread.TrialResult values. Because every run is a deterministic
+// return wire.TrialResult values. Because every run is a deterministic
 // function of its resolved spec, results are kept in a content-addressed
 // LRU cache (canonical-JSON key, see Key) so repeated requests cost zero
 // simulation work.
@@ -31,12 +31,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 
-	"dynspread"
 	"dynspread/internal/registry"
 	"dynspread/internal/scenario"
+	"dynspread/internal/wire"
 )
 
 // Config sizes the server. Zero values select the documented defaults.
@@ -59,7 +60,18 @@ type Config struct {
 	// JobHistory bounds how many finished jobs stay addressable via
 	// GET /v1/jobs/{id}; older terminal jobs are forgotten (default 1024).
 	JobHistory int
+	// Runner executes a job's trial specs, streaming each completed result
+	// through onResult (under the sweep layer's OnResult contract). Nil
+	// selects in-process execution on the sweep pool (wire.RunSpecs). A
+	// coordinator-mode spreadd installs internal/cluster's runner here, which
+	// is what makes POST /v1/runs shard transparently across peers: the
+	// service layer — queueing, caching, progress, shutdown — is identical
+	// either way.
+	Runner Runner
 }
+
+// Runner is the execution backend of a server: wire.RunSpecs's signature.
+type Runner func(ctx context.Context, specs []wire.TrialSpec, parallelism int, onResult func(i int, r wire.TrialResult)) ([]wire.TrialResult, error)
 
 func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
@@ -92,8 +104,9 @@ type Stats struct {
 
 // Server is the simulation service.
 type Server struct {
-	cfg   Config
-	cache *Cache
+	cfg    Config
+	runner Runner
+	cache  *Cache
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -120,8 +133,13 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
+	runner := cfg.Runner
+	if runner == nil {
+		runner = wire.RunSpecs
+	}
 	s := &Server{
 		cfg:     cfg,
+		runner:  runner,
 		cache:   NewCache(cfg.CacheSize),
 		ctx:     ctx,
 		cancel:  cancel,
@@ -161,7 +179,7 @@ func (s *Server) runJob(j *job) {
 	defer s.release(j)
 	j.setRunning()
 	var (
-		missSpecs []dynspread.TrialSpec
+		missSpecs []wire.TrialSpec
 		missKeys  []string
 		missByKey = map[string][]int{}
 	)
@@ -181,8 +199,8 @@ func (s *Server) runJob(j *job) {
 		missByKey[key] = append(missByKey[key], i)
 	}
 	if len(missSpecs) > 0 {
-		_, err := dynspread.RunSpecs(s.ctx, missSpecs, s.cfg.Parallelism,
-			func(mi int, r dynspread.TrialResult) {
+		_, err := s.runner(s.ctx, missSpecs, s.cfg.Parallelism,
+			func(mi int, r wire.TrialResult) {
 				key := missKeys[mi]
 				s.cache.Put(key, r)
 				for _, i := range missByKey[key] {
@@ -203,14 +221,14 @@ func (s *Server) runJob(j *job) {
 // submit registers a job under a fresh ID and accounts it in jobWG — the
 // Add happens under the same mutex that gates closed, so it can never race
 // Shutdown's Wait. It fails once the server is shutting down.
-func (s *Server) submit(specs []dynspread.TrialSpec) (*job, error) {
+func (s *Server) submit(specs []wire.TrialSpec) (*job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, errServerClosed
 	}
 	s.nextID++
-	j := newJob(fmt.Sprintf("j%06d", s.nextID), specs)
+	j := newJob(fmt.Sprintf("j%06d", s.nextID), s.nextID, specs)
 	s.jobs[j.id] = j
 	s.jobWG.Add(1)
 	return j, nil
@@ -325,6 +343,7 @@ func (s *Server) Stats() Stats {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", s.handleRuns)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
@@ -351,7 +370,7 @@ func writeError(w http.ResponseWriter, code int, err error) {
 const maxRequestBytes = 16 << 20 // a grid request is small; 16 MiB is generous
 
 func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
-	var req dynspread.RunRequest
+	var req wire.RunRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
@@ -413,6 +432,33 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, j.Status())
+}
+
+// JobList is the body of GET /v1/jobs: every still-addressable job, WITHOUT
+// result payloads (fetch GET /v1/jobs/{id} for those), sorted by submission
+// order, plus counts by state. The sort key is the job's numeric sequence,
+// so the order is stable and survives any future ID format change.
+type JobList struct {
+	Jobs    []JobStatus      `json:"jobs"`
+	ByState map[JobState]int `json:"by_state"`
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].seq < jobs[b].seq })
+	jl := JobList{Jobs: make([]JobStatus, 0, len(jobs)), ByState: map[JobState]int{}}
+	for _, j := range jobs {
+		st := j.Status()
+		st.Results = nil // listings stay small; results live on /v1/jobs/{id}
+		jl.Jobs = append(jl.Jobs, st)
+		jl.ByState[st.State]++
+	}
+	writeJSON(w, http.StatusOK, jl)
 }
 
 func (s *Server) handleCatalog(w http.ResponseWriter, _ *http.Request) {

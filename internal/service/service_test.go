@@ -9,7 +9,7 @@ import (
 	"testing"
 	"time"
 
-	"dynspread"
+	"dynspread/internal/wire"
 )
 
 // harness spins up a Server behind httptest and a Client against it.
@@ -56,7 +56,7 @@ func waitGoroutines(t *testing.T, want int) {
 	t.Fatalf("goroutines leaked: %d > %d\n%s", runtime.NumGoroutine(), want, buf[:n])
 }
 
-var e2eGrid = dynspread.GridSpec{
+var e2eGrid = wire.GridSpec{
 	Ns:          []int{12},
 	Ks:          []int{8},
 	Algorithms:  []string{"single-source", "topkis"},
@@ -78,7 +78,7 @@ func TestServiceE2E(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	req := dynspread.RunRequest{Grid: &e2eGrid}
+	req := wire.RunRequest{Grid: &e2eGrid}
 	total := 2 * 2 * 6
 
 	first, err := h.client.Run(ctx, req)
@@ -136,30 +136,26 @@ func TestServiceSyncRunsAndSpreadsimSchema(t *testing.T) {
 	defer h.close(t, context.Background())
 	ctx := context.Background()
 
-	spec := dynspread.TrialSpec{N: 10, K: 6, Algorithm: "single-source", Adversary: "churn", Seed: 3}
-	st, err := h.client.Run(ctx, dynspread.RunRequest{Trials: []dynspread.TrialSpec{spec}})
+	spec := wire.TrialSpec{N: 10, K: 6, Algorithm: "single-source", Adversary: "churn", Seed: 3}
+	st, err := h.client.Run(ctx, wire.RunRequest{Trials: []wire.TrialSpec{spec}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.State != JobDone || len(st.Results) != 1 || st.CacheMisses != 1 {
 		t.Fatalf("sync run: %+v", st)
 	}
-	// The service's per-trial schema is exactly what the facade's RunFull
-	// (and therefore spreadsim -json) produces.
-	local, err := dynspread.RunFull(dynspread.Config{
-		N: 10, K: 6,
-		Algorithm: "single-source",
-		Adversary: "churn",
-		Seed:      3,
-	})
+	// The service's per-trial schema is exactly what an in-process
+	// wire.RunSpecs (and therefore the facade's RunFull and spreadsim
+	// -json, which delegate to it) produces.
+	local, err := wire.RunSpecs(ctx, []wire.TrialSpec{spec}, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(st.Results[0], *local) {
-		t.Fatalf("service result diverged from RunFull:\n%+v\n%+v", st.Results[0], *local)
+	if !reflect.DeepEqual(st.Results[0], local[0]) {
+		t.Fatalf("service result diverged from RunSpecs:\n%+v\n%+v", st.Results[0], local[0])
 	}
 	// Same spec again: a synchronous cache hit.
-	again, err := h.client.Run(ctx, dynspread.RunRequest{Trials: []dynspread.TrialSpec{spec}})
+	again, err := h.client.Run(ctx, wire.RunRequest{Trials: []wire.TrialSpec{spec}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,8 +170,8 @@ func TestServiceSyncRunsAndSpreadsimSchema(t *testing.T) {
 func TestServiceScenarioJobs(t *testing.T) {
 	h := newHarness(t, Config{})
 	defer h.close(t, context.Background())
-	st, err := h.client.Run(context.Background(), dynspread.RunRequest{
-		Trials: []dynspread.TrialSpec{{Scenario: "token-stream", Seed: 1}},
+	st, err := h.client.Run(context.Background(), wire.RunRequest{
+		Trials: []wire.TrialSpec{{Scenario: "token-stream", Seed: 1}},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -238,8 +234,8 @@ func TestServiceSyncSpillsToQueueWhenSaturated(t *testing.T) {
 	ctx := context.Background()
 
 	h.srv.syncSem <- struct{}{} // occupy the only sync slot
-	st, err := h.client.Run(ctx, dynspread.RunRequest{
-		Trials: []dynspread.TrialSpec{{N: 8, K: 4, Algorithm: "single-source", Adversary: "static", Seed: 1}},
+	st, err := h.client.Run(ctx, wire.RunRequest{
+		Trials: []wire.TrialSpec{{N: 8, K: 4, Algorithm: "single-source", Adversary: "static", Seed: 1}},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -252,8 +248,8 @@ func TestServiceSyncSpillsToQueueWhenSaturated(t *testing.T) {
 		t.Fatalf("spilled job: %+v %v", done, err)
 	}
 	<-h.srv.syncSem // free the slot
-	direct, err := h.client.Run(ctx, dynspread.RunRequest{
-		Trials: []dynspread.TrialSpec{{N: 8, K: 4, Algorithm: "single-source", Adversary: "static", Seed: 2}},
+	direct, err := h.client.Run(ctx, wire.RunRequest{
+		Trials: []wire.TrialSpec{{N: 8, K: 4, Algorithm: "single-source", Adversary: "static", Seed: 2}},
 	})
 	if err != nil || direct.State != JobDone {
 		t.Fatalf("free slot did not serve synchronously: %+v %v", direct, err)
@@ -265,9 +261,9 @@ func TestServiceSyncSpillsToQueueWhenSaturated(t *testing.T) {
 func TestServiceDeduplicatesWithinJob(t *testing.T) {
 	h := newHarness(t, Config{})
 	defer h.close(t, context.Background())
-	spec := dynspread.TrialSpec{N: 10, K: 6, Algorithm: "single-source", Adversary: "static", Seed: 1}
-	st, err := h.client.Run(context.Background(), dynspread.RunRequest{
-		Trials: []dynspread.TrialSpec{spec, spec, spec},
+	spec := wire.TrialSpec{N: 10, K: 6, Algorithm: "single-source", Adversary: "static", Seed: 1}
+	st, err := h.client.Run(context.Background(), wire.RunRequest{
+		Trials: []wire.TrialSpec{spec, spec, spec},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -294,8 +290,8 @@ func TestServiceJobHistoryEviction(t *testing.T) {
 	defer h.close(t, context.Background())
 	ctx := context.Background()
 	run := func(seed int64) JobStatus {
-		st, err := h.client.Run(ctx, dynspread.RunRequest{
-			Trials: []dynspread.TrialSpec{{N: 8, K: 4, Algorithm: "single-source", Adversary: "static", Seed: seed}},
+		st, err := h.client.Run(ctx, wire.RunRequest{
+			Trials: []wire.TrialSpec{{N: 8, K: 4, Algorithm: "single-source", Adversary: "static", Seed: seed}},
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -317,18 +313,18 @@ func TestServiceRejectsBadRequests(t *testing.T) {
 	ctx := context.Background()
 
 	// Unknown algorithm: the job fails synchronously with a 400 that names it.
-	_, err := h.client.Run(ctx, dynspread.RunRequest{
-		Trials: []dynspread.TrialSpec{{N: 8, K: 4, Algorithm: "no-such", Adversary: "static"}},
+	_, err := h.client.Run(ctx, wire.RunRequest{
+		Trials: []wire.TrialSpec{{N: 8, K: 4, Algorithm: "no-such", Adversary: "static"}},
 	})
 	if err == nil || !strings.Contains(err.Error(), "400") {
 		t.Fatalf("unknown algorithm: %v", err)
 	}
 	// An empty request is rejected before any job is created.
-	if _, err := h.client.Run(ctx, dynspread.RunRequest{}); err == nil {
+	if _, err := h.client.Run(ctx, wire.RunRequest{}); err == nil {
 		t.Fatal("empty request accepted")
 	}
 	// A partial grid is a validation error.
-	if _, err := h.client.Run(ctx, dynspread.RunRequest{Grid: &dynspread.GridSpec{Ns: []int{8}}}); err == nil {
+	if _, err := h.client.Run(ctx, wire.RunRequest{Grid: &wire.GridSpec{Ns: []int{8}}}); err == nil {
 		t.Fatal("partial grid accepted")
 	}
 	// Unknown job.
@@ -343,7 +339,7 @@ func TestServiceQueueFull(t *testing.T) {
 	ctx := context.Background()
 
 	// A big job occupies the single worker for a while...
-	busy := dynspread.RunRequest{Grid: &dynspread.GridSpec{
+	busy := wire.RunRequest{Grid: &wire.GridSpec{
 		Ns: []int{32}, Ks: []int{32},
 		Algorithms:  []string{"single-source"},
 		Adversaries: []string{"churn"},
@@ -379,7 +375,7 @@ func TestServiceShutdownCancelsInFlight(t *testing.T) {
 	h := newHarness(t, Config{SyncTrialLimit: 1, JobWorkers: 1})
 	ctx := context.Background()
 
-	long := dynspread.RunRequest{Grid: &dynspread.GridSpec{
+	long := wire.RunRequest{Grid: &wire.GridSpec{
 		Ns: []int{48}, Ks: []int{48},
 		Algorithms:  []string{"single-source"},
 		Adversaries: []string{"churn"},
@@ -421,4 +417,50 @@ func seeds(n int) []int64 {
 		out[i] = int64(i + 1)
 	}
 	return out
+}
+
+// TestServiceJobsListing: GET /v1/jobs enumerates every addressable job in
+// submission order, strips result payloads, and counts states — and the
+// output is stable across calls.
+func TestServiceJobsListing(t *testing.T) {
+	h := newHarness(t, Config{})
+	defer h.close(t, context.Background())
+	ctx := context.Background()
+
+	var ids []string
+	for seed := int64(1); seed <= 3; seed++ {
+		st, err := h.client.Run(ctx, wire.RunRequest{
+			Trials: []wire.TrialSpec{{N: 8, K: 4, Algorithm: "single-source", Adversary: "static", Seed: seed}},
+		})
+		if err != nil || st.State != JobDone {
+			t.Fatalf("job %d: %+v %v", seed, st, err)
+		}
+		ids = append(ids, st.ID)
+	}
+
+	jl, err := h.client.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jl.Jobs) != 3 {
+		t.Fatalf("listed %d jobs, want 3", len(jl.Jobs))
+	}
+	for i, st := range jl.Jobs {
+		if st.ID != ids[i] {
+			t.Fatalf("listing out of submission order: %v vs submitted %v", jl.Jobs, ids)
+		}
+		if st.Results != nil {
+			t.Fatalf("listing leaked result payloads for %s", st.ID)
+		}
+		if st.State != JobDone || st.Completed != 1 || st.Total != 1 {
+			t.Fatalf("listed status wrong: %+v", st)
+		}
+	}
+	if jl.ByState[JobDone] != 3 || len(jl.ByState) != 1 {
+		t.Fatalf("by_state = %+v", jl.ByState)
+	}
+	again, err := h.client.Jobs(ctx)
+	if err != nil || !reflect.DeepEqual(jl, again) {
+		t.Fatalf("job listing unstable across calls:\n%+v\n%+v (%v)", jl, again, err)
+	}
 }

@@ -1,320 +1,65 @@
 package dynspread
 
-// The wire schema of the simulation service: exported request/result types
-// shared by the spreadd server (internal/service, cmd/spreadd), its Go
-// client, and spreadsim -json. Everything is registry-name based — a
-// TrialSpec names its algorithm, adversary, and scenario instead of holding
-// them — so the same JSON object describes a run to a remote daemon exactly
-// as it does to an in-process call, and its canonical encoding can serve as
-// a content address for run caching.
+// The wire schema of the simulation service lives in internal/wire so the
+// service, cluster, and store layers can share it without importing this
+// facade; every type is re-exported here as an alias, so to public callers
+// (and to the JSON on the wire) nothing moved. A TrialSpec names its
+// algorithm, adversary, and scenario by registry name instead of holding
+// them, which is what lets the same JSON object describe a run to a remote
+// daemon exactly as it does to an in-process call, and lets its canonical
+// encoding serve as a content address for run caching and the persistent
+// result store.
 
 import (
 	"context"
-	"fmt"
 
-	"dynspread/internal/sweep"
+	"dynspread/internal/wire"
 )
 
 // TrialSpec is the wire form of one fully specified trial: the JSON schema
-// accepted per-trial by POST /v1/runs and emitted by spreadsim -json.
-// Field semantics match sweep.Trial; zero values mean the documented
-// defaults. Executions are deterministic functions of a TrialSpec, which is
-// what makes specs content-addressable.
-type TrialSpec struct {
-	// Scenario, when non-empty, selects a registered workload supplying the
-	// shape, dynamics, arrival schedule, and defaults; N/K/Sources must stay
-	// zero, and Algorithm/Adversary act as overrides.
-	Scenario string `json:"scenario,omitempty"`
-	// N, K, Sources describe a classic instance (sources defaults to 1).
-	N       int `json:"n,omitempty"`
-	K       int `json:"k,omitempty"`
-	Sources int `json:"sources,omitempty"`
-	// Algorithm and Adversary are registry names.
-	Algorithm string `json:"algorithm,omitempty"`
-	Adversary string `json:"adversary,omitempty"`
-	// Seed derives every random choice of the trial.
-	Seed int64 `json:"seed"`
-	// MaxRounds caps the execution (0 = engine default); Sigma is the churn
-	// stability parameter (0 = default 3); CheckStability > 0 verifies
-	// σ-edge-stability during unicast executions.
-	MaxRounds      int `json:"max_rounds,omitempty"`
-	Sigma          int `json:"sigma,omitempty"`
-	CheckStability int `json:"check_stability,omitempty"`
-	// Arrivals is the explicit per-token injection schedule (entry t = round
-	// token t arrives at its source); nil means all tokens at round 0, or
-	// the scenario's own schedule for scenario trials.
-	Arrivals []int `json:"arrivals,omitempty"`
-	// Replay, in a RESOLVED spec, records that the execution's dynamics were
-	// a recorded graph trace replayed verbatim rather than a live adversary.
-	// The trace itself is not part of the wire schema, so a spec with Replay
-	// set cannot be (re)submitted — replays run in-process via Config.Replay
-	// or through a trace-backed scenario (whose resolved specs stay
-	// submittable: the scenario name reconstructs the trace).
-	Replay bool `json:"replay,omitempty"`
-}
-
-// Normalized returns the spec with wire-level defaults applied (Sources
-// defaulted to 1 for classic trials). Content-addressed caches hash the
-// normalized spec so equivalent requests share a cache entry.
-func (s TrialSpec) Normalized() TrialSpec {
-	if s.Scenario == "" && s.Sources <= 0 {
-		s.Sources = 1
-	}
-	return s
-}
-
-// Wire-level shape limits. The service accepts arbitrary JSON, so the wire
-// layer — not the engine — is where absurd instances must be rejected: an
-// (n, k) far beyond anything the simulator can execute would previously
-// reach sim.DefaultMaxRounds and could wrap the round cap around. These
-// bounds are orders of magnitude above every realistic sweep while keeping
-// 40·n·k comfortably inside an int64.
-const (
-	// MaxWireN is the largest node count accepted over the wire.
-	MaxWireN = 1 << 20
-	// MaxWireK is the largest token count accepted over the wire.
-	MaxWireK = 1 << 24
-	// MaxWireRounds is the largest explicit round cap (or arrival round)
-	// accepted over the wire. It must fit a 32-bit int so the module keeps
-	// compiling on 32-bit platforms.
-	MaxWireRounds = 1 << 30
-	// MaxWireTrials bounds the number of trials one grid may expand to.
-	// Checked BEFORE expansion — a small request body can describe a
-	// cross-product of billions of trials, which must be rejected without
-	// materializing it.
-	MaxWireTrials = 1 << 20
-)
-
-// Validate rejects wire specs whose shape is negative or absurdly large,
-// with an error naming the offending field. Registry-name resolution and
-// instance-consistency checks (unknown algorithm, sources > n, …) stay with
-// the sweep layer; Validate only guards the numeric envelope.
-func (s TrialSpec) Validate() error {
-	check := func(field string, v, max int) error {
-		if v < 0 {
-			return fmt.Errorf("dynspread: trial spec: %s must not be negative, got %d", field, v)
-		}
-		if v > max {
-			return fmt.Errorf("dynspread: trial spec: %s = %d exceeds the wire limit %d", field, v, max)
-		}
-		return nil
-	}
-	if err := check("n", s.N, MaxWireN); err != nil {
-		return err
-	}
-	if err := check("k", s.K, MaxWireK); err != nil {
-		return err
-	}
-	if err := check("sources", s.Sources, MaxWireN); err != nil {
-		return err
-	}
-	if err := check("max_rounds", s.MaxRounds, MaxWireRounds); err != nil {
-		return err
-	}
-	if err := check("sigma", s.Sigma, MaxWireRounds); err != nil {
-		return err
-	}
-	if err := check("check_stability", s.CheckStability, MaxWireRounds); err != nil {
-		return err
-	}
-	if len(s.Arrivals) > MaxWireK {
-		return fmt.Errorf("dynspread: trial spec: %d arrival entries exceed the wire limit %d", len(s.Arrivals), MaxWireK)
-	}
-	for t, r := range s.Arrivals {
-		if err := check(fmt.Sprintf("arrivals[%d]", t), r, MaxWireRounds); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// sweepTrial converts the wire spec into the sweep layer's trial.
-func (s TrialSpec) sweepTrial() sweep.Trial {
-	return sweep.Trial{
-		Scenario: s.Scenario,
-		N:        s.N, K: s.K, Sources: s.Sources,
-		Algorithm:      s.Algorithm,
-		Adversary:      s.Adversary,
-		Seed:           s.Seed,
-		MaxRounds:      s.MaxRounds,
-		Sigma:          s.Sigma,
-		CheckStability: s.CheckStability,
-		Arrivals:       s.Arrivals,
-	}
-}
-
-// specFromTrial converts a RESOLVED sweep trial back into wire form: for
-// scenario trials the shape, algorithm, dynamics, and materialized arrival
-// schedule are concrete, so the result fully describes the execution.
-func specFromTrial(t sweep.Trial) TrialSpec {
-	s := TrialSpec{
-		Scenario: t.Scenario,
-		N:        t.N, K: t.K, Sources: t.Sources,
-		Algorithm:      t.Algorithm,
-		Adversary:      t.Adversary,
-		Seed:           t.Seed,
-		MaxRounds:      t.MaxRounds,
-		Sigma:          t.Sigma,
-		CheckStability: t.CheckStability,
-		Arrivals:       t.Arrivals,
-	}
-	if t.Replay != nil {
-		// The dynamics were a verbatim trace, not the named adversary.
-		s.Adversary = ""
-		// Only a bare replay is irreproducible from the spec; a trace-backed
-		// scenario reconstructs its trace by name.
-		s.Replay = t.Scenario == ""
-	}
-	return s.Normalized()
-}
+// accepted per-trial by POST /v1/runs and emitted by spreadsim -json. See
+// wire.TrialSpec for field semantics; executions are deterministic
+// functions of a TrialSpec, which is what makes specs content-addressable.
+type TrialSpec = wire.TrialSpec
 
 // GridSpec is the wire form of a sweep grid (see sweep.Grid for the axis
 // semantics): the JSON schema accepted by POST /v1/runs for sweep jobs.
-type GridSpec struct {
-	Ns          []int    `json:"ns,omitempty"`
-	Ks          []int    `json:"ks,omitempty"`
-	Sources     []int    `json:"sources,omitempty"`
-	Algorithms  []string `json:"algorithms,omitempty"`
-	Adversaries []string `json:"adversaries,omitempty"`
-	Scenarios   []string `json:"scenarios,omitempty"`
-	Seeds       []int64  `json:"seeds,omitempty"`
-	MaxRounds   int      `json:"max_rounds,omitempty"`
-	Sigma       int      `json:"sigma,omitempty"`
-}
-
-// Trials validates and expands the grid into wire-form trial specs in the
-// sweep layer's deterministic order. The expansion cardinality is bounded
-// BEFORE materializing anything (via sweep's Grid.Cardinality, which lives
-// next to the expansion loop it mirrors), so a tiny request body cannot
-// describe a memory-exhausting cross-product.
-func (g GridSpec) Trials() ([]TrialSpec, error) {
-	sg := sweep.Grid{
-		Ns: g.Ns, Ks: g.Ks, Sources: g.Sources,
-		Algorithms:  g.Algorithms,
-		Adversaries: g.Adversaries,
-		Scenarios:   g.Scenarios,
-		Seeds:       g.Seeds,
-		MaxRounds:   g.MaxRounds,
-		Sigma:       g.Sigma,
-	}
-	if c := sg.Cardinality(); c > MaxWireTrials {
-		return nil, fmt.Errorf("dynspread: grid expands to %d trials, more than the wire limit %d", c, MaxWireTrials)
-	}
-	if err := sg.Validate(); err != nil {
-		return nil, err
-	}
-	trials := sg.Trials()
-	specs := make([]TrialSpec, len(trials))
-	for i, t := range trials {
-		specs[i] = specFromTrial(t)
-	}
-	return specs, nil
-}
+type GridSpec = wire.GridSpec
 
 // RunRequest is the body of POST /v1/runs: explicit trials, a grid to
 // expand, or both (explicit trials run first).
-type RunRequest struct {
-	Trials []TrialSpec `json:"trials,omitempty"`
-	Grid   *GridSpec   `json:"grid,omitempty"`
-	// Async forces queued 202-style execution even for small jobs.
-	Async bool `json:"async,omitempty"`
-}
-
-// Specs validates the request and flattens it into the trial list to run.
-func (r RunRequest) Specs() ([]TrialSpec, error) {
-	if len(r.Trials) == 0 && r.Grid == nil {
-		return nil, fmt.Errorf("dynspread: run request names no trials and no grid")
-	}
-	specs := make([]TrialSpec, 0, len(r.Trials))
-	for i, s := range r.Trials {
-		if err := s.Validate(); err != nil {
-			return nil, fmt.Errorf("%w (trial %d)", err, i)
-		}
-		specs = append(specs, s.Normalized())
-	}
-	if r.Grid != nil {
-		expanded, err := r.Grid.Trials()
-		if err != nil {
-			return nil, err
-		}
-		// Grid axes are arbitrary JSON too: validate the expanded specs so
-		// an absurd grid is rejected at request time (400) instead of
-		// failing the whole job mid-run.
-		for i, s := range expanded {
-			if err := s.Validate(); err != nil {
-				return nil, fmt.Errorf("%w (grid trial %d)", err, i)
-			}
-		}
-		specs = append(specs, expanded...)
-	}
-	return specs, nil
-}
+type RunRequest = wire.RunRequest
 
 // TrialResult is the wire form of one executed trial: the RESOLVED spec
-// (scenario names expanded into their concrete shape, algorithm, dynamics,
-// and arrival schedule) plus the engine outcome and the paper's derived
-// cost measures. It is the per-trial result schema of the spreadd service
-// and of spreadsim -json.
-type TrialResult struct {
-	Trial TrialSpec `json:"trial"`
-	// Adversary is the concrete adversary's self-reported name (for replays,
-	// "trace-replay").
-	Adversary string `json:"adversary"`
-	// Completed is true iff every node received every token.
-	Completed bool `json:"completed"`
-	// Rounds is the number of rounds executed.
-	Rounds int `json:"rounds"`
-	// Metrics holds the communication-cost measures.
-	Metrics Metrics `json:"metrics"`
-	// AmortizedPerToken is Metrics.Messages / k.
-	AmortizedPerToken float64 `json:"amortized_per_token"`
-	// CompetitiveResidual is Messages − 1·TC(E) (Definition 1.3).
-	CompetitiveResidual float64 `json:"competitive_residual"`
-}
+// plus the engine outcome and the paper's derived cost measures.
+type TrialResult = wire.TrialResult
 
-func trialResult(r sweep.Result) TrialResult {
-	return TrialResult{
-		Trial:               specFromTrial(r.Trial),
-		Adversary:           r.AdversaryName,
-		Completed:           r.Res.Completed,
-		Rounds:              r.Res.Rounds,
-		Metrics:             r.Res.Metrics,
-		AmortizedPerToken:   r.Res.Metrics.AmortizedPerToken(r.Trial.K),
-		CompetitiveResidual: r.Res.Metrics.Competitive(1),
-	}
-}
+// ShardRequest is the wire form of one planned shard of a distributed
+// sweep (see internal/cluster); ShardResponse pairs it with its results.
+type (
+	ShardRequest  = wire.ShardRequest
+	ShardResponse = wire.ShardResponse
+)
+
+// Wire-level shape limits; see the internal/wire definitions for rationale.
+const (
+	// MaxWireN is the largest node count accepted over the wire.
+	MaxWireN = wire.MaxWireN
+	// MaxWireK is the largest token count accepted over the wire.
+	MaxWireK = wire.MaxWireK
+	// MaxWireRounds is the largest explicit round cap (or arrival round)
+	// accepted over the wire.
+	MaxWireRounds = wire.MaxWireRounds
+	// MaxWireTrials bounds the number of trials one grid may expand to.
+	MaxWireTrials = wire.MaxWireTrials
+)
 
 // RunSpecs executes wire-form trials on the sweep worker pool and returns
 // their results in input order. onResult, when non-nil, is invoked once per
 // completed trial as soon as its result is available, under the sweep
 // layer's OnResult contract (concurrent calls, completion order, nothing
-// after RunSpecs returns) — this is how the spreadd service streams job
-// progress. Error and cancellation semantics match sweep.Run: the first
-// error wins and no results are returned.
+// after RunSpecs returns). Error and cancellation semantics match
+// sweep.Run: the first error wins and no results are returned.
 func RunSpecs(ctx context.Context, specs []TrialSpec, parallelism int, onResult func(i int, r TrialResult)) ([]TrialResult, error) {
-	trials := make([]sweep.Trial, len(specs))
-	for i, s := range specs {
-		if s.Replay {
-			return nil, fmt.Errorf("dynspread: spec %d replays a recorded trace, which is not part of the wire schema (use Config.Replay in-process, or a trace-backed scenario)", i)
-		}
-		if err := s.Validate(); err != nil {
-			return nil, fmt.Errorf("%w (spec %d)", err, i)
-		}
-		trials[i] = s.sweepTrial()
-	}
-	out := make([]TrialResult, len(specs))
-	opts := sweep.Options{
-		Parallelism: parallelism,
-		OnResult: func(i int, r sweep.Result) {
-			tr := trialResult(r)
-			out[i] = tr
-			if onResult != nil {
-				onResult(i, tr)
-			}
-		},
-	}
-	if _, err := sweep.Run(ctx, trials, opts); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return wire.RunSpecs(ctx, specs, parallelism, onResult)
 }
