@@ -110,11 +110,17 @@ func (a *RequestCutter) NextGraph(view *sim.View) *graph.Graph {
 // backgroundChurn swaps one random non-bridge edge for a random fresh edge,
 // keeping the topology mixing even when no requests are in flight.
 func (a *RequestCutter) backgroundChurn() {
-	edges := a.cur.Edges()
-	if len(edges) == 0 {
+	m := a.cur.M()
+	if m == 0 {
 		return
 	}
-	e := edges[a.rng.Intn(len(edges))]
+	// EdgeAt indexes the same canonical sorted order Edges() returns, so the
+	// single rng.Intn(m) draw (and the edge it picks) is unchanged — without
+	// materializing the edge slice every round.
+	e, ok := a.cur.EdgeAt(a.rng.Intn(m))
+	if !ok {
+		return
+	}
 	if !a.cur.ConnectedWithout(e) {
 		return
 	}

@@ -1,0 +1,378 @@
+// Package adaptive provides the occupancy-adaptive set representation used
+// for the simulator's knowledge sets K_v(t) and graph adjacency rows: a
+// bitset.Sparse sorted small-list while the set is near-empty, promoted to a
+// dense bitset.Set once occupancy passes a calibrated threshold, and demoted
+// back to sparse on Reset.
+//
+// The API mirrors the dense bitset.Set
+// (Add/Contains/Count/UnionWith/UnionCount/FirstNotIn/NextAbsent/Elements/
+// Reset and the ForEach scan kernels), so hot paths are written once against
+// this type. Count is cached and maintained incrementally, which makes
+// Count/Full/Empty O(1) — the engine's per-round completion scan pays one
+// integer compare per node instead of a popcount sweep.
+//
+// Representation policy (calibrated by BenchmarkKernels in internal/bitset;
+// see ARCHITECTURE.md):
+//
+//   - Universes of at most startDenseWords words (n ≤ 512) are dense from
+//     the start: a handful of words beats any list bookkeeping, and the
+//     simulator's graph rows at experiment scale land here.
+//   - Larger universes start sparse and promote once the element count
+//     exceeds sparsePerWord × ⌈n/64⌉ (~6% occupancy), where the word-batched
+//     dense kernels overtake O(count) list walks.
+//
+// Promotion retains the sparse backing list and demotion (Reset) retains the
+// dense words, so a workspace-reused set switches representations without
+// allocating after its first full run — the property the steady-state
+// allocation gates depend on.
+package adaptive
+
+import "dynspread/internal/bitset"
+
+const (
+	// startDenseWords: universes of at most this many dense words skip the
+	// sparse representation entirely.
+	startDenseWords = 8
+	// sparsePerWord: promotion threshold in elements per dense word. At 4
+	// elements/word (6.25% occupancy) the unrolled dense kernels beat the
+	// sorted-list walk on every kernel in BenchmarkKernels.
+	sparsePerWord = 4
+)
+
+func startDense(n int) bool { return bitset.WordsFor(n) <= startDenseWords }
+
+// promoteAt returns the element count above which a sparse set of universe n
+// promotes to dense.
+func promoteAt(n int) int { return sparsePerWord * bitset.WordsFor(n) }
+
+// Set is an adaptive sparse/dense set over the universe [0, Len()).
+// The zero value is an empty set of capacity 0; use New or Reset to size it.
+// Methods are not safe for concurrent use.
+type Set struct {
+	n         int
+	count     int
+	dense     bool
+	threshold int
+	sp        bitset.Sparse
+	dn        bitset.Set
+	// dw caches dn.Words() while dense so Insert/Delete/Contains inline a
+	// one-word probe instead of calling through two method layers (the
+	// engine's delivery loop runs one probe per message). Invariant: dw is
+	// non-empty exactly while dense — Contains dispatches on its length
+	// alone. Refreshed wherever dn's backing slice can change identity
+	// (promote, NewSlice, the dense branches of Reset/CopyFrom) and nilled
+	// wherever the set goes sparse.
+	dw []uint64
+}
+
+// New returns an empty adaptive set over universe n.
+func New(n int) *Set {
+	s := &Set{}
+	s.Reset(n)
+	return s
+}
+
+// NewSlice returns cnt empty adaptive sets over universe n. When the
+// universe starts dense the word storage of all cnt sets is carved from one
+// slab allocation — this is how the graph substrate materializes n adjacency
+// rows in O(1) allocations per graph.
+func NewSlice(cnt, n int) []Set {
+	sets := make([]Set, cnt)
+	if startDense(n) {
+		w := bitset.WordsFor(n)
+		slab := make([]uint64, cnt*w)
+		for i := range sets {
+			sets[i].n = n
+			sets[i].dense = true
+			sets[i].dn = bitset.Wrap(n, slab[i*w:(i+1)*w:(i+1)*w])
+			sets[i].dw = sets[i].dn.Words()
+		}
+		return sets
+	}
+	for i := range sets {
+		sets[i].Reset(n)
+	}
+	return sets
+}
+
+// Len returns the universe size.
+func (s *Set) Len() int { return s.n }
+
+// Count returns the number of elements in O(1).
+func (s *Set) Count() int { return s.count }
+
+// Empty reports whether the set has no elements, in O(1).
+func (s *Set) Empty() bool { return s.count == 0 }
+
+// Full reports whether every element of the universe is present, in O(1).
+func (s *Set) Full() bool { return s.count == s.n }
+
+// Dense reports which representation the set currently uses (for tests and
+// calibration benchmarks).
+func (s *Set) Dense() bool { return s.dense }
+
+// Reset reconfigures s into an empty set over universe n, demoting to the
+// sparse representation (when the universe qualifies) while retaining both
+// representations' storage for reuse.
+func (s *Set) Reset(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.n = n
+	s.count = 0
+	if startDense(n) {
+		s.dense = true
+		s.dn.Reset(n)
+		s.dw = s.dn.Words()
+		return
+	}
+	s.dense = false
+	s.dw = nil // dispatch invariant: dw is non-empty exactly while dense
+	s.threshold = promoteAt(n)
+	s.sp.Reset(n)
+	// Pre-size the list to the promotion threshold so sparse growth never
+	// allocates mid-round.
+	s.sp.Grow(s.threshold + 1)
+}
+
+// promote switches to the dense representation, reusing retained word
+// storage when this set has been dense before.
+func (s *Set) promote() {
+	s.dn.Reset(s.n)
+	s.sp.FillDense(&s.dn)
+	s.dense = true
+	s.dw = s.dn.Words()
+}
+
+// Add inserts i into the set. Out-of-range indices are ignored.
+func (s *Set) Add(i int) { s.Insert(i) }
+
+// Insert adds i and reports whether it was newly inserted. Crossing the
+// occupancy threshold promotes the set to dense.
+//
+// Insert, Delete, and Contains keep their dense branch small enough to
+// inline into callers (the engine's delivery loop calls them per message;
+// before this split the non-inlined dispatch measurably slowed broadcast
+// steady rounds) and push the sparse branch behind noinline helpers so the
+// binary search does not count against the inlining budget.
+func (s *Set) Insert(i int) bool {
+	if !s.dense || uint(i) >= uint(s.n) {
+		return s.insertSlow(i)
+	}
+	w := uint(i) >> 6
+	b := uint64(1) << (uint(i) & 63)
+	if s.dw[w]&b != 0 {
+		return false
+	}
+	s.dw[w] |= b
+	s.count++
+	return true
+}
+
+// insertSlow handles the sparse representation and dense out-of-range.
+//
+//go:noinline
+func (s *Set) insertSlow(i int) bool {
+	if s.dense || i < 0 || i >= s.n || !s.sp.Insert(i) {
+		return false
+	}
+	s.count++
+	if s.count > s.threshold {
+		s.promote()
+	}
+	return true
+}
+
+// Delete removes i and reports whether it was present. Deletion never
+// demotes; only Reset does.
+func (s *Set) Delete(i int) bool {
+	if !s.dense || uint(i) >= uint(s.n) {
+		return s.deleteSlow(i)
+	}
+	w := uint(i) >> 6
+	b := uint64(1) << (uint(i) & 63)
+	if s.dw[w]&b == 0 {
+		return false
+	}
+	s.dw[w] &^= b
+	s.count--
+	return true
+}
+
+// deleteSlow handles the sparse representation and dense out-of-range.
+//
+//go:noinline
+func (s *Set) deleteSlow(i int) bool {
+	if s.dense || i < 0 || i >= s.n || !s.sp.Delete(i) {
+		return false
+	}
+	s.count--
+	return true
+}
+
+// Remove deletes i from the set, mirroring bitset.Set.Remove.
+func (s *Set) Remove(i int) { s.Delete(i) }
+
+// Contains reports whether i is in the set. The dense fast path dispatches
+// on the cached word slice alone: dw is non-empty exactly while the set is
+// dense, and bitset keeps bits at positions ≥ n in the last word zero, so a
+// probe of the tail region correctly reads false and out-of-range (or
+// sparse) falls through to the slow helper. Folding representation dispatch
+// and bounds check into one compare is what fits this under the inlining
+// budget.
+func (s *Set) Contains(i int) bool {
+	if w := uint(i) >> 6; w < uint(len(s.dw)) {
+		return s.dw[w]&(1<<uint(i&63)) != 0
+	}
+	return s.containsSlow(i)
+}
+
+//go:noinline
+func (s *Set) containsSlow(i int) bool {
+	if s.dense {
+		return false // out of range
+	}
+	return s.sp.Contains(i)
+}
+
+// UnionWith adds every element of the dense set o to s. Capacities must
+// match. A sparse s promotes first: the union's occupancy is unknown in
+// advance and the batched dense kernel does the merge in one word sweep.
+func (s *Set) UnionWith(o *bitset.Set) error {
+	if !s.dense {
+		s.promote()
+	}
+	added := s.dn.UnionWithCount(o)
+	if added < 0 {
+		return errCapacity(s.n, o.Len())
+	}
+	s.count += added
+	return nil
+}
+
+// UnionCount returns |s ∪ o| without mutating s, or -1 on capacity mismatch.
+func (s *Set) UnionCount(o *bitset.Set) int {
+	if s.dense {
+		return s.dn.UnionCount(o)
+	}
+	return s.sp.UnionCountDense(o)
+}
+
+// FirstNotIn returns the smallest element of s \ o, or -1 when the
+// difference is empty. Elements of s beyond o's capacity count as absent
+// from o, mirroring bitset.Set.FirstNotIn.
+func (s *Set) FirstNotIn(o *bitset.Set) int {
+	if s.dense {
+		return s.dn.FirstNotIn(o)
+	}
+	return s.sp.FirstNotIn(o)
+}
+
+// NextAbsent returns the smallest element >= from that is NOT in the set, or
+// -1 if every element in [from, Len()) is present.
+func (s *Set) NextAbsent(from int) int {
+	if s.dense {
+		return s.dn.NextAbsent(from)
+	}
+	return s.sp.NextAbsent(from)
+}
+
+// Elements returns the members in increasing order as a fresh slice; hot
+// paths should use ForEach instead.
+func (s *Set) Elements() []int {
+	if s.dense {
+		return s.dn.Elements()
+	}
+	return s.sp.Elements()
+}
+
+// ForEach calls fn for every member in increasing order without allocating.
+func (s *Set) ForEach(fn func(int)) {
+	if s.dense {
+		s.dn.ForEach(fn)
+		return
+	}
+	s.sp.ForEach(fn)
+}
+
+// ForEachFrom calls fn for every member >= from in increasing order.
+func (s *Set) ForEachFrom(from int, fn func(int)) {
+	if s.dense {
+		s.dn.ForEachFrom(from, fn)
+		return
+	}
+	s.sp.ForEachFrom(from, fn)
+}
+
+// ScanFrom calls fn for every member >= from in increasing order until fn
+// returns false. It reports whether the scan ran to completion.
+func (s *Set) ScanFrom(from int, fn func(int) bool) bool {
+	if s.dense {
+		return s.dn.ScanFrom(from, fn)
+	}
+	return s.sp.ScanFrom(from, fn)
+}
+
+// ForEachNotInFrom calls fn for every element >= from of s \ o in increasing
+// order. When both sets are dense this is a single word sweep; mixed
+// representations fall back to membership probes on o.
+func (s *Set) ForEachNotInFrom(o *Set, from int, fn func(int)) {
+	if s.dense && o.dense {
+		s.dn.ForEachNotInFrom(&o.dn, from, fn)
+		return
+	}
+	s.ForEachFrom(from, func(e int) {
+		if !o.Contains(e) {
+			fn(e)
+		}
+	})
+}
+
+// Equal reports whether s and o hold the same elements over the same
+// universe, regardless of representation.
+func (s *Set) Equal(o *Set) bool {
+	if s.n != o.n || s.count != o.count {
+		return false
+	}
+	if s.dense && o.dense {
+		return s.dn.Equal(&o.dn)
+	}
+	eq := true
+	s.ScanFrom(0, func(e int) bool {
+		if !o.Contains(e) {
+			eq = false
+			return false
+		}
+		return true
+	})
+	return eq
+}
+
+// CopyFrom makes s an exact copy of o (same elements, same representation),
+// reusing s's storage when possible.
+func (s *Set) CopyFrom(o *Set) {
+	s.n = o.n
+	s.count = o.count
+	s.threshold = o.threshold
+	if o.dense {
+		if !s.dense {
+			s.dense = true
+		}
+		s.dn.CopyFrom(&o.dn)
+		s.dw = s.dn.Words()
+		return
+	}
+	s.dense = false
+	s.dw = nil
+	s.sp.CopyFrom(&o.sp)
+}
+
+func errCapacity(a, b int) error {
+	return capacityError{a: a, b: b}
+}
+
+type capacityError struct{ a, b int }
+
+func (e capacityError) Error() string {
+	return "adaptive: capacity mismatch"
+}

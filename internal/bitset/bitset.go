@@ -1,6 +1,20 @@
-// Package bitset provides a dense, fixed-capacity bitset used throughout the
-// simulator for token-knowledge sets K_v(t) and the lower-bound bookkeeping
-// sets K'_v, where fast union, intersection and popcount dominate.
+// Package bitset provides the set representations used throughout the
+// simulator for token-knowledge sets K_v(t), the lower-bound bookkeeping
+// sets K'_v, and (via the adaptive subpackage) graph adjacency rows.
+//
+// Two representations live here:
+//
+//   - Set is the dense, fixed-capacity bitset: ⌈n/64⌉ words, O(1) membership,
+//     and word-batched kernels (UnionWith/IntersectWith/DifferenceWith are
+//     4-wide unrolled; UnionWithCount fuses union with a popcount of the
+//     newly set bits; ForEach scans set bits without allocating).
+//   - Sparse is a sorted small-list of element indices for near-empty sets:
+//     O(count) iteration independent of the universe size, at the price of
+//     O(log count) membership and O(count) insertion.
+//
+// Neither representation switches on its own; the adaptive subpackage wraps
+// both behind one type that starts sparse and promotes to dense past an
+// occupancy threshold (see bitset/adaptive for the calibration).
 package bitset
 
 import (
@@ -26,8 +40,38 @@ func New(n int) *Set {
 	return &Set{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
 }
 
+// WordsFor returns the number of 64-bit words a set of capacity n occupies —
+// for callers that block-allocate storage for many sets (see Wrap).
+func WordsFor(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return (n + wordBits - 1) / wordBits
+}
+
+// Wrap returns a Set VALUE over caller-provided word storage (len must be
+// WordsFor(n); Wrap panics otherwise). The caller must not alias words with
+// another live set. Wrap is how the adaptive layer and the graph substrate
+// slab-allocate thousands of small sets in one allocation.
+func Wrap(n int, words []uint64) Set {
+	if n < 0 {
+		n = 0
+	}
+	if len(words) != WordsFor(n) {
+		panic(fmt.Sprintf("bitset: Wrap got %d words for n=%d (need %d)", len(words), n, WordsFor(n)))
+	}
+	return Set{n: n, words: words}
+}
+
 // Len returns the capacity (universe size) of the set.
 func (s *Set) Len() int { return s.n }
+
+// Words returns the backing word slice (bit i of word i/64 is element i).
+// The slice aliases the set: writes through it change the set's contents,
+// and its identity is only stable until the next Reset/CopyFrom/Wrap. The
+// adaptive layer caches it so its dense fast paths inline a one-word probe
+// instead of a method call.
+func (s *Set) Words() []uint64 { return s.words }
 
 // Add inserts i into the set. Out-of-range indices are ignored.
 func (s *Set) Add(i int) {
@@ -35,6 +79,34 @@ func (s *Set) Add(i int) {
 		return
 	}
 	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Insert adds i and reports whether it was newly inserted (false for
+// out-of-range indices and elements already present). One word load replaces
+// the Contains-then-Add double lookup on the engine's delivery path.
+func (s *Set) Insert(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	w, b := i/wordBits, uint64(1)<<uint(i%wordBits)
+	if s.words[w]&b != 0 {
+		return false
+	}
+	s.words[w] |= b
+	return true
+}
+
+// Delete removes i and reports whether it was present.
+func (s *Set) Delete(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	w, b := i/wordBits, uint64(1)<<uint(i%wordBits)
+	if s.words[w]&b == 0 {
+		return false
+	}
+	s.words[w] &^= b
+	return true
 }
 
 // Remove deletes i from the set. Out-of-range indices are ignored.
@@ -72,14 +144,42 @@ func (s *Set) Empty() bool {
 	return true
 }
 
-// Full reports whether every element of the universe is present.
-func (s *Set) Full() bool { return s.Count() == s.n }
+// Full reports whether every element of the universe is present. It
+// short-circuits on the first non-full word (and compares the last partial
+// word against its trimmed mask) instead of popcounting the whole set, so on
+// the engine's per-round completion scan a near-empty set answers in one
+// word load.
+func (s *Set) Full() bool {
+	if len(s.words) == 0 {
+		return true
+	}
+	last := len(s.words) - 1
+	for _, w := range s.words[:last] {
+		if w != ^uint64(0) {
+			return false
+		}
+	}
+	mask := ^uint64(0)
+	if rem := s.n % wordBits; rem != 0 {
+		mask = (1 << uint(rem)) - 1
+	}
+	return s.words[last] == mask
+}
 
 // Clone returns a deep copy of the set.
 func (s *Set) Clone() *Set {
 	c := &Set{n: s.n, words: make([]uint64, len(s.words))}
 	copy(c.words, s.words)
 	return c
+}
+
+// CopyFrom makes s an exact copy of o, reusing s's word storage when the
+// capacity already matches (one memmove, no allocation).
+func (s *Set) CopyFrom(o *Set) {
+	if s.n != o.n || len(s.words) != len(o.words) {
+		s.Reset(o.n)
+	}
+	copy(s.words, o.words)
 }
 
 // Clear removes all elements.
@@ -128,14 +228,55 @@ func (s *Set) trim() {
 }
 
 // UnionWith adds every element of o to s. Sets must have equal capacity.
+// The word loop is 4-wide unrolled: the hot kernels process word batches so
+// the per-iteration bounds/loop overhead amortizes over four ops.
 func (s *Set) UnionWith(o *Set) error {
 	if o.n != s.n {
 		return fmt.Errorf("bitset: capacity mismatch %d != %d", s.n, o.n)
 	}
-	for i, w := range o.words {
-		s.words[i] |= w
+	a, b := s.words, o.words[:len(s.words)]
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		a[i+0] |= b[i+0]
+		a[i+1] |= b[i+1]
+		a[i+2] |= b[i+2]
+		a[i+3] |= b[i+3]
+	}
+	for ; i < len(a); i++ {
+		a[i] |= b[i]
 	}
 	return nil
+}
+
+// UnionWithCount adds every element of o to s and returns the number of
+// newly set bits, fused into one pass — replacing the Count-before /
+// union / Count-after pattern with a single word sweep. It returns -1 on
+// capacity mismatch.
+func (s *Set) UnionWithCount(o *Set) int {
+	if o.n != s.n {
+		return -1
+	}
+	a, b := s.words, o.words[:len(s.words)]
+	c := 0
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		w0 := b[i+0] &^ a[i+0]
+		w1 := b[i+1] &^ a[i+1]
+		w2 := b[i+2] &^ a[i+2]
+		w3 := b[i+3] &^ a[i+3]
+		c += bits.OnesCount64(w0) + bits.OnesCount64(w1) +
+			bits.OnesCount64(w2) + bits.OnesCount64(w3)
+		a[i+0] |= w0
+		a[i+1] |= w1
+		a[i+2] |= w2
+		a[i+3] |= w3
+	}
+	for ; i < len(a); i++ {
+		w := b[i] &^ a[i]
+		c += bits.OnesCount64(w)
+		a[i] |= w
+	}
+	return c
 }
 
 // IntersectWith keeps only elements present in both s and o.
@@ -143,8 +284,16 @@ func (s *Set) IntersectWith(o *Set) error {
 	if o.n != s.n {
 		return fmt.Errorf("bitset: capacity mismatch %d != %d", s.n, o.n)
 	}
-	for i, w := range o.words {
-		s.words[i] &= w
+	a, b := s.words, o.words[:len(s.words)]
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		a[i+0] &= b[i+0]
+		a[i+1] &= b[i+1]
+		a[i+2] &= b[i+2]
+		a[i+3] &= b[i+3]
+	}
+	for ; i < len(a); i++ {
+		a[i] &= b[i]
 	}
 	return nil
 }
@@ -154,8 +303,16 @@ func (s *Set) DifferenceWith(o *Set) error {
 	if o.n != s.n {
 		return fmt.Errorf("bitset: capacity mismatch %d != %d", s.n, o.n)
 	}
-	for i, w := range o.words {
-		s.words[i] &^= w
+	a, b := s.words, o.words[:len(s.words)]
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		a[i+0] &^= b[i+0]
+		a[i+1] &^= b[i+1]
+		a[i+2] &^= b[i+2]
+		a[i+3] &^= b[i+3]
+	}
+	for ; i < len(a); i++ {
+		a[i] &^= b[i]
 	}
 	return nil
 }
@@ -224,6 +381,94 @@ func (s *Set) Elements() []int {
 	return out
 }
 
+// ForEach calls fn for every member in increasing order without allocating —
+// the scan kernel that replaces Elements() at hot call sites.
+func (s *Set) ForEach(fn func(int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			fn(wi*wordBits + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// ForEachFrom calls fn for every member >= from in increasing order without
+// allocating.
+func (s *Set) ForEachFrom(from int, fn func(int)) {
+	if from < 0 {
+		from = 0
+	}
+	if from >= s.n {
+		return
+	}
+	wi := from / wordBits
+	w := s.words[wi] & (^uint64(0) << uint(from%wordBits))
+	for {
+		for w != 0 {
+			fn(wi*wordBits + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+		wi++
+		if wi >= len(s.words) {
+			return
+		}
+		w = s.words[wi]
+	}
+}
+
+// ScanFrom calls fn for every member >= from in increasing order until fn
+// returns false. It reports whether the scan ran to completion — the
+// early-exit variant of ForEachFrom for callers like Graph.EdgeAt.
+func (s *Set) ScanFrom(from int, fn func(int) bool) bool {
+	if from < 0 {
+		from = 0
+	}
+	if from >= s.n {
+		return true
+	}
+	wi := from / wordBits
+	w := s.words[wi] & (^uint64(0) << uint(from%wordBits))
+	for {
+		for w != 0 {
+			if !fn(wi*wordBits + bits.TrailingZeros64(w)) {
+				return false
+			}
+			w &= w - 1
+		}
+		wi++
+		if wi >= len(s.words) {
+			return true
+		}
+		w = s.words[wi]
+	}
+}
+
+// ForEachNotInFrom calls fn for every element >= from of s \ o in increasing
+// order without allocating — the kernel behind per-row graph diffs.
+// Capacities need not match: elements of s beyond o's capacity count as
+// absent from o.
+func (s *Set) ForEachNotInFrom(o *Set, from int, fn func(int)) {
+	if from < 0 {
+		from = 0
+	}
+	if from >= s.n {
+		return
+	}
+	wi := from / wordBits
+	mask := ^uint64(0) << uint(from%wordBits)
+	for ; wi < len(s.words); wi++ {
+		w := s.words[wi] & mask
+		mask = ^uint64(0)
+		if wi < len(o.words) {
+			w &^= o.words[wi]
+		}
+		for w != 0 {
+			fn(wi*wordBits + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
 // FirstNotIn returns the smallest element of s \ o, or -1 when the
 // difference is empty. It never allocates (unlike filtering Elements).
 // Capacities need not match: elements of s beyond o's capacity count as
@@ -241,27 +486,32 @@ func (s *Set) FirstNotIn(o *Set) int {
 }
 
 // NextAbsent returns the smallest element >= from that is NOT in the set, or
-// -1 if every element in [from, Len()) is present.
+// -1 if every element in [from, Len()) is present. The loop is word-granular:
+// full words are skipped one comparison at a time instead of re-deriving the
+// word index per bit position.
 func (s *Set) NextAbsent(from int) int {
 	if from < 0 {
 		from = 0
 	}
-	for i := from; i < s.n; i++ {
-		wi := i / wordBits
-		w := ^s.words[wi]
-		// Mask off bits below i within this word.
-		w &= ^uint64(0) << uint(i%wordBits)
-		if w == 0 {
-			i = (wi+1)*wordBits - 1
-			continue
+	if from >= s.n {
+		return -1
+	}
+	wi := from / wordBits
+	w := ^s.words[wi] & (^uint64(0) << uint(from%wordBits))
+	for {
+		if w != 0 {
+			j := wi*wordBits + bits.TrailingZeros64(w)
+			if j >= s.n {
+				return -1
+			}
+			return j
 		}
-		j := wi*wordBits + bits.TrailingZeros64(w)
-		if j >= s.n {
+		wi++
+		if wi >= len(s.words) {
 			return -1
 		}
-		return j
+		w = ^s.words[wi]
 	}
-	return -1
 }
 
 // String renders the set as {a, b, c} for debugging.

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"dynspread/internal/bitset"
+	"dynspread/internal/bitset/adaptive"
 	"dynspread/internal/sim"
 	"dynspread/internal/token"
 )
@@ -16,7 +16,7 @@ import (
 type Flooding struct {
 	env       sim.NodeEnv
 	windowLen int
-	know      *bitset.Set
+	know      *adaptive.Set
 }
 
 // NewFlooding returns the flooding factory. windowLen <= 0 selects n (the
@@ -28,7 +28,7 @@ func NewFlooding(windowLen int) sim.BroadcastFactory {
 		if w <= 0 {
 			w = env.N
 		}
-		f := &Flooding{env: env, windowLen: w, know: bitset.New(env.K)}
+		f := &Flooding{env: env, windowLen: w, know: adaptive.New(env.K)}
 		for _, t := range env.Initial {
 			f.know.Add(t)
 		}
@@ -68,13 +68,13 @@ func (f *Flooding) Arrive(_ int, t token.ID) { f.know.Add(t) }
 type RandomBroadcast struct {
 	env  sim.NodeEnv
 	know []token.ID
-	seen *bitset.Set
+	seen *adaptive.Set
 }
 
 // NewRandomBroadcast returns the factory.
 func NewRandomBroadcast() sim.BroadcastFactory {
 	return func(env sim.NodeEnv) sim.BroadcastProtocol {
-		p := &RandomBroadcast{env: env, seen: bitset.New(env.K)}
+		p := &RandomBroadcast{env: env, seen: adaptive.New(env.K)}
 		for _, t := range env.Initial {
 			p.seen.Add(t)
 			p.know = append(p.know, t)
@@ -94,8 +94,7 @@ func (p *RandomBroadcast) Choose(int) token.ID {
 // Deliver implements sim.BroadcastProtocol.
 func (p *RandomBroadcast) Deliver(_ int, heard []sim.BroadcastHear) {
 	for _, h := range heard {
-		if !p.seen.Contains(h.Token) {
-			p.seen.Add(h.Token)
+		if p.seen.Insert(h.Token) {
 			p.know = append(p.know, h.Token)
 		}
 	}
@@ -103,8 +102,7 @@ func (p *RandomBroadcast) Deliver(_ int, heard []sim.BroadcastHear) {
 
 // Arrive implements sim.TokenArriver.
 func (p *RandomBroadcast) Arrive(_ int, t token.ID) {
-	if !p.seen.Contains(t) {
-		p.seen.Add(t)
+	if p.seen.Insert(t) {
 		p.know = append(p.know, t)
 	}
 }

@@ -20,49 +20,55 @@ const (
 // ("contributive"). Re-insertion of a vanished adjacency resets both, per
 // the paper's "between the last insertion of the edge and the end of round
 // r" clause.
+//
+// State is round-stamped arrays indexed by neighbor ID rather than maps:
+// seenRound[u] holds the last round u was adjacent, so "was u a neighbor
+// last round" is one compare and beginRound touches only the current
+// neighbor list — no per-round map churn on the engine's hot path.
 type edgeTracker struct {
 	round        int
-	insertedAt   map[graph.NodeID]int
-	contributive map[graph.NodeID]bool
+	seenRound    []int // last round u was adjacent; -1 = never
+	insertedAt   []int // valid while u is continuously adjacent
+	contributive []bool
 	nbrs         []graph.NodeID
-	nbrSet       map[graph.NodeID]bool
 }
 
-func newEdgeTracker() *edgeTracker {
-	return &edgeTracker{
-		insertedAt:   make(map[graph.NodeID]int),
-		contributive: make(map[graph.NodeID]bool),
-		nbrSet:       make(map[graph.NodeID]bool),
+func newEdgeTracker(n int) *edgeTracker {
+	t := &edgeTracker{
+		seenRound:    make([]int, n),
+		insertedAt:   make([]int, n),
+		contributive: make([]bool, n),
 	}
+	for i := range t.seenRound {
+		t.seenRound[i] = -1
+	}
+	return t
 }
 
-// beginRound ingests the round-start neighbor list.
+// beginRound ingests the round-start neighbor list. The engine calls it with
+// consecutive round numbers, so "u was adjacent in the previous round" is
+// exactly seenRound[u] == the previous call's round.
 func (t *edgeTracker) beginRound(r int, nbrs []graph.NodeID) {
-	t.round = r
-	next := make(map[graph.NodeID]bool, len(nbrs))
+	prev := t.round
 	for _, u := range nbrs {
-		next[u] = true
-		if !t.nbrSet[u] {
+		if t.seenRound[u] != prev {
 			t.insertedAt[u] = r
 			t.contributive[u] = false
 		}
+		t.seenRound[u] = r
 	}
-	for u := range t.nbrSet {
-		if !next[u] {
-			delete(t.insertedAt, u)
-			delete(t.contributive, u)
-		}
-	}
-	t.nbrSet = next
+	t.round = r
 	t.nbrs = nbrs
 }
 
 // adjacent reports whether u is a current neighbor.
-func (t *edgeTracker) adjacent(u graph.NodeID) bool { return t.nbrSet[u] }
+func (t *edgeTracker) adjacent(u graph.NodeID) bool {
+	return u >= 0 && u < len(t.seenRound) && t.seenRound[u] == t.round
+}
 
 // markContributive records that a new token arrived over the edge to u.
 func (t *edgeTracker) markContributive(u graph.NodeID) {
-	if t.nbrSet[u] {
+	if t.adjacent(u) {
 		t.contributive[u] = true
 	}
 }

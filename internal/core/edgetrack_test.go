@@ -3,7 +3,7 @@ package core
 import "testing"
 
 func TestEdgeTrackerNewEdges(t *testing.T) {
-	tr := newEdgeTracker()
+	tr := newEdgeTracker(16)
 	tr.beginRound(1, []int{1, 2})
 	if !tr.adjacent(1) || tr.adjacent(3) {
 		t.Fatal("adjacency wrong")
@@ -22,7 +22,7 @@ func TestEdgeTrackerNewEdges(t *testing.T) {
 }
 
 func TestEdgeTrackerContributive(t *testing.T) {
-	tr := newEdgeTracker()
+	tr := newEdgeTracker(16)
 	tr.beginRound(1, []int{1})
 	tr.markContributive(1)
 	tr.beginRound(2, []int{1})
@@ -31,7 +31,7 @@ func TestEdgeTrackerContributive(t *testing.T) {
 		t.Fatal("edge with received token should be contributive")
 	}
 	// willContribute promotes an idle edge for this round.
-	tr2 := newEdgeTracker()
+	tr2 := newEdgeTracker(16)
 	tr2.beginRound(1, []int{1})
 	tr2.beginRound(2, []int{1})
 	tr2.beginRound(3, []int{1})
@@ -41,7 +41,7 @@ func TestEdgeTrackerContributive(t *testing.T) {
 }
 
 func TestEdgeTrackerReinsertionResets(t *testing.T) {
-	tr := newEdgeTracker()
+	tr := newEdgeTracker(16)
 	tr.beginRound(1, []int{1})
 	tr.markContributive(1)
 	tr.beginRound(2, []int{}) // edge removed
@@ -60,7 +60,7 @@ func TestEdgeTrackerReinsertionResets(t *testing.T) {
 }
 
 func TestEdgeTrackerMarkNonNeighborIgnored(t *testing.T) {
-	tr := newEdgeTracker()
+	tr := newEdgeTracker(16)
 	tr.beginRound(1, []int{1})
 	tr.markContributive(5) // not a neighbor; must not panic or record
 	tr.beginRound(2, []int{1, 5})

@@ -78,7 +78,7 @@ func NewMultiSourceWith(env sim.NodeEnv, owned []OwnedToken) *MultiSource {
 		informed:  make(map[graph.NodeID]map[graph.NodeID]bool),
 		heard:     make(map[graph.NodeID]map[graph.NodeID]bool),
 		answer:    make(map[graph.NodeID]sim.RequestPayload),
-		edges:     newEdgeTracker(),
+		edges:     newEdgeTracker(env.N),
 		inFlight:  make(map[graph.NodeID]sim.RequestPayload),
 		sentNow:   make(map[graph.NodeID]sim.RequestPayload),
 	}

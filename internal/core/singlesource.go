@@ -35,11 +35,56 @@ type SingleSource struct {
 
 	round int
 	edges *edgeTracker
-	// inFlight[u] is the index requested over edge {v,u} in the previous
-	// round (awaiting the token this round); sentNow is the current round's
-	// requests, promoted to inFlight at the next BeginRound.
-	inFlight map[graph.NodeID]int
-	sentNow  map[graph.NodeID]int
+	// inFlight holds the (neighbor, index) requests sent in the previous
+	// round whose edge survived (awaiting the token this round); sentNow is
+	// the current round's requests, promoted to inFlight at the next
+	// BeginRound. At most one entry per neighbor, at most degree entries
+	// total, so small reusable slices beat per-round map churn.
+	inFlight []reqPair
+	sentNow  []reqPair
+	// arriveRound[i] == round stamps source index i as arriving this round
+	// (an in-flight request will deliver it), replacing a per-round map.
+	arriveRound []int
+	// Reusable per-round scratch (engine copies Send's slice before the next
+	// Send, so out is safe to reuse; see the Protocol buffer contract).
+	missing               []int
+	newE, idleE, contribE []graph.NodeID
+	ordered               []cand
+	out                   []sim.Message
+}
+
+// reqPair is one outstanding request: index idx asked of neighbor u.
+type reqPair struct {
+	u   graph.NodeID
+	idx int
+}
+
+// cand is one request-candidate edge with its Algorithm 1 class.
+type cand struct {
+	u     graph.NodeID
+	class edgeClass
+}
+
+// inFlightPending reports whether a request to u is awaiting its token.
+func (p *SingleSource) inFlightPending(u graph.NodeID) bool {
+	for i := range p.inFlight {
+		if p.inFlight[i].u == u {
+			return true
+		}
+	}
+	return false
+}
+
+// clearInFlight drops the pending request (u, idx) if present.
+func (p *SingleSource) clearInFlight(u graph.NodeID, idx int) {
+	for i := range p.inFlight {
+		if p.inFlight[i].u == u && p.inFlight[i].idx == idx {
+			last := len(p.inFlight) - 1
+			p.inFlight[i] = p.inFlight[last]
+			p.inFlight = p.inFlight[:last]
+			return
+		}
+	}
 }
 
 // SingleSourceOpts tunes Algorithm 1 for ablation experiments.
@@ -87,9 +132,8 @@ func NewSingleSourceWithOpts(opts SingleSourceOpts) sim.Factory {
 			source:      -1,
 			informed:    make(map[graph.NodeID]bool),
 			answer:      make(map[graph.NodeID]int),
-			edges:       newEdgeTracker(),
-			inFlight:    make(map[graph.NodeID]int),
-			sentNow:     make(map[graph.NodeID]int),
+			edges:       newEdgeTracker(env.N),
+			arriveRound: make([]int, env.K+1),
 		}
 		for i := range p.idxToGlobal {
 			p.idxToGlobal[i] = token.None
@@ -116,15 +160,13 @@ func (p *SingleSource) BeginRound(r int, neighbors []graph.NodeID) {
 	// Promote last round's requests: those whose edge survived will deliver
 	// a token at the end of this round; the rest were wasted by an edge
 	// removal (charged to the adversary's TC budget).
-	for u := range p.inFlight {
-		delete(p.inFlight, u)
-	}
-	for u, idx := range p.sentNow {
-		if p.edges.adjacent(u) {
-			p.inFlight[u] = idx
+	p.inFlight = p.inFlight[:0]
+	for _, q := range p.sentNow {
+		if p.edges.adjacent(q.u) {
+			p.inFlight = append(p.inFlight, q)
 		}
-		delete(p.sentNow, u)
 	}
+	p.sentNow = p.sentNow[:0]
 }
 
 // Send implements sim.Protocol.
@@ -138,7 +180,7 @@ func (p *SingleSource) Send(r int) []sim.Message {
 // sendComplete handles lines 1–6 of Algorithm 1: announce completeness
 // once per node, otherwise answer the previous round's request.
 func (p *SingleSource) sendComplete() []sim.Message {
-	var out []sim.Message
+	out := p.out[:0]
 	for _, u := range p.edges.nbrs {
 		switch {
 		case !p.informed[u]:
@@ -163,6 +205,7 @@ func (p *SingleSource) sendComplete() []sim.Message {
 			delete(p.answer, u)
 		}
 	}
+	p.out = out
 	return out
 }
 
@@ -173,29 +216,30 @@ func (p *SingleSource) sendIncomplete() []sim.Message {
 	if p.source == -1 {
 		return nil // no completeness announcement heard yet
 	}
-	// Tokens already arriving this round must not be re-requested.
-	arriving := make(map[int]bool, len(p.inFlight))
-	for _, idx := range p.inFlight {
-		arriving[idx] = true
+	// Tokens already arriving this round must not be re-requested. The
+	// arriveRound stamp replaces a per-round map: index i arrives this round
+	// iff its stamp equals the current round.
+	for _, q := range p.inFlight {
+		p.arriveRound[q.idx] = p.round
 	}
-	var missing []int
+	missing := p.missing[:0]
 	for i := 1; i <= p.env.K; i++ {
-		if !p.haveIdx[i] && !arriving[i] {
+		if !p.haveIdx[i] && p.arriveRound[i] != p.round {
 			missing = append(missing, i)
 		}
 	}
+	p.missing = missing
 	if len(missing) == 0 {
 		return nil
 	}
 	// Candidate edges: current neighbors known to be complete, bucketed by
 	// class. Within a class, neighbor ID order keeps runs deterministic.
-	var newE, idleE, contribE []graph.NodeID
+	newE, idleE, contribE := p.newE[:0], p.idleE[:0], p.contribE[:0]
 	for _, u := range p.edges.nbrs {
 		if !p.informed[u] {
 			continue // u has not announced completeness to us
 		}
-		_, pending := p.inFlight[u]
-		switch p.edges.class(u, pending) {
+		switch p.edges.class(u, p.inFlightPending(u)) {
 		case edgeNew:
 			newE = append(newE, u)
 		case edgeIdle:
@@ -204,11 +248,8 @@ func (p *SingleSource) sendIncomplete() []sim.Message {
 			contribE = append(contribE, u)
 		}
 	}
-	type cand struct {
-		u     graph.NodeID
-		class edgeClass
-	}
-	ordered := make([]cand, 0, len(newE)+len(idleE)+len(contribE))
+	p.newE, p.idleE, p.contribE = newE, idleE, contribE
+	ordered := p.ordered[:0]
 	for _, u := range newE {
 		ordered = append(ordered, cand{u, edgeNew})
 	}
@@ -218,13 +259,14 @@ func (p *SingleSource) sendIncomplete() []sim.Message {
 	for _, u := range contribE {
 		ordered = append(ordered, cand{u, edgeContributive})
 	}
+	p.ordered = ordered
 	if p.opts.RandomPriority {
 		p.env.Rng.Shuffle(len(ordered), func(i, j int) {
 			ordered[i], ordered[j] = ordered[j], ordered[i]
 		})
 	}
 
-	out := make([]sim.Message, 0, len(ordered))
+	out := p.out[:0]
 	j := 0
 	for _, c := range ordered {
 		if j >= len(missing) {
@@ -232,7 +274,7 @@ func (p *SingleSource) sendIncomplete() []sim.Message {
 		}
 		idx := missing[j]
 		j++
-		p.sentNow[c.u] = idx
+		p.sentNow = append(p.sentNow, reqPair{u: c.u, idx: idx})
 		if st := p.opts.Stats; st != nil {
 			st.RequestsByClass[int(c.class)-1]++
 			if c.class == edgeContributive {
@@ -245,6 +287,7 @@ func (p *SingleSource) sendIncomplete() []sim.Message {
 		out = append(out, sim.RequestMsg(p.env.ID, c.u,
 			sim.RequestPayload{Owner: p.source, Index: idx}))
 	}
+	p.out = out
 	return out
 }
 
@@ -273,16 +316,14 @@ func (p *SingleSource) Deliver(r int, in []sim.Message) {
 				p.haveCount++
 				p.edges.markContributive(m.From)
 			}
-			if _, ok := p.inFlight[m.From]; ok && p.inFlight[m.From] == m.Token.Index {
-				delete(p.inFlight, m.From)
-			}
+			p.clearInFlight(m.From, m.Token.Index)
 		}
 	}
 	if !p.complete && p.haveCount == p.env.K {
 		p.complete = true
 		// Switch the map's role from S_v to R_v: start announcing afresh.
 		p.informed = make(map[graph.NodeID]bool)
-		p.sentNow = make(map[graph.NodeID]int)
-		p.inFlight = make(map[graph.NodeID]int)
+		p.sentNow = p.sentNow[:0]
+		p.inFlight = p.inFlight[:0]
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"dynspread/internal/bitset"
+	"dynspread/internal/bitset/adaptive"
 	"dynspread/internal/graph"
 	"dynspread/internal/sim"
 	"dynspread/internal/token"
@@ -17,8 +18,11 @@ import (
 // exists as the contrast point to Algorithm 1's frugality.
 type Topkis struct {
 	env  sim.NodeEnv
-	know *bitset.Set
-	sent map[graph.NodeID]*bitset.Set
+	know *adaptive.Set
+	// sent[u] is the set of tokens already forwarded to neighbor u, indexed
+	// by node ID and allocated lazily on first contact. A slice, not a map:
+	// the per-neighbor lookup is on the round hot path.
+	sent []*bitset.Set
 	nbrs []graph.NodeID
 	// out is the reusable Send buffer; the engine copies messages out of it
 	// before the next round, so steady-state rounds allocate nothing.
@@ -30,8 +34,8 @@ func NewTopkis() sim.Factory {
 	return func(env sim.NodeEnv) sim.Protocol {
 		p := &Topkis{
 			env:  env,
-			know: bitset.New(env.K),
-			sent: make(map[graph.NodeID]*bitset.Set),
+			know: adaptive.New(env.K),
+			sent: make([]*bitset.Set, env.N),
 		}
 		for _, t := range env.Initial {
 			p.know.Add(t)
@@ -48,10 +52,10 @@ func (p *Topkis) BeginRound(_ int, neighbors []graph.NodeID) { p.nbrs = neighbor
 func (p *Topkis) Send(_ int) []sim.Message {
 	out := p.out[:0]
 	for _, u := range p.nbrs {
-		s := p.sent[u]
+		s := p.sent[int(u)]
 		if s == nil {
 			s = bitset.New(p.env.K)
-			p.sent[u] = s
+			p.sent[int(u)] = s
 		}
 		t := pickUnsent(p.know, s)
 		if t == token.None {
@@ -67,7 +71,9 @@ func (p *Topkis) Send(_ int) []sim.Message {
 }
 
 // pickUnsent returns the lowest token in know but not in sentTo, or None.
-func pickUnsent(know, sentTo *bitset.Set) token.ID {
+// know is adaptive (near-empty early, near-full late); sentTo stays dense —
+// it only ever grows and is probed, never unioned.
+func pickUnsent(know *adaptive.Set, sentTo *bitset.Set) token.ID {
 	if t := know.FirstNotIn(sentTo); t >= 0 {
 		return t
 	}

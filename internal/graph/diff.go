@@ -1,5 +1,7 @@
 package graph
 
+import "dynspread/internal/bitset/adaptive"
+
 // Diff captures the topological change between two consecutive round graphs:
 // Inserted = E_r \ E_{r-1} (the paper's E+_r) and Removed = E_{r-1} \ E_r
 // (E-_r). Both slices are in canonical sorted order.
@@ -28,17 +30,27 @@ func Compute(prev, next *Graph) Diff {
 		d.Inserted = next.Edges()
 		return d
 	}
-	for _, e := range next.Edges() {
-		if !prev.HasEdge(e.U, e.V) {
-			d.Inserted = append(d.Inserted, e)
-		}
-	}
-	for _, e := range prev.Edges() {
-		if !next.HasEdge(e.U, e.V) {
-			d.Removed = append(d.Removed, e)
-		}
-	}
+	d.Inserted = appendEdgeDiff(d.Inserted, next, prev)
+	d.Removed = appendEdgeDiff(d.Removed, prev, next)
 	return d
+}
+
+// appendEdgeDiff appends the canonical edges of a \ b in sorted order — a
+// row-wise set difference per node, so the common case of two mostly-equal
+// round graphs costs a word sweep per row instead of two full edge-set walks
+// with per-edge hash probes.
+func appendEdgeDiff(out []Edge, a, b *Graph) []Edge {
+	var empty adaptive.Set
+	for v := 0; v < a.n; v++ {
+		brow := &empty
+		if v < b.n {
+			brow = &b.adj[v]
+		}
+		a.adj[v].ForEachNotInFrom(brow, v+1, func(u int) {
+			out = append(out, Edge{U: v, V: u})
+		})
+	}
+	return out
 }
 
 // StabilityTracker verifies σ-edge-stability of a dynamic graph sequence as

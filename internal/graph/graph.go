@@ -6,8 +6,8 @@ package graph
 
 import (
 	"fmt"
-	"sort"
 
+	"dynspread/internal/bitset/adaptive"
 	"dynspread/internal/unionfind"
 )
 
@@ -46,14 +46,20 @@ func (e Edge) String() string { return fmt.Sprintf("{%d,%d}", e.U, e.V) }
 // Graph is a mutable undirected simple graph snapshot over n nodes.
 // The zero value is unusable; construct with New.
 //
+// Adjacency is stored as one adaptive bitset row per node (plus an edge
+// counter), so neighbor iteration is naturally sorted — Edges, Neighbors and
+// the per-round diffs need no sort — membership is a bit probe, and Clone is
+// a word-level copy. At experiment scale the rows sit in one slab
+// allocation.
+//
 // Read accessors that are on the engine's per-round hot path
 // (NeighborsShared, Connected) memoize their answer; any successful AddEdge
 // or RemoveEdge invalidates the memo. A Graph is not safe for concurrent
 // use, even read-only, because of this lazy memoization.
 type Graph struct {
-	n     int
-	edges map[Edge]struct{}
-	adj   []map[NodeID]struct{}
+	n   int
+	m   int
+	adj []adaptive.Set
 
 	// Lazy snapshot caches, nil/0 when stale: flat is the per-node sorted
 	// adjacency (subslices of flatBase), conn the memoized connectivity
@@ -74,22 +80,14 @@ func New(n int) *Graph {
 	if n < 0 {
 		n = 0
 	}
-	g := &Graph{
-		n:     n,
-		edges: make(map[Edge]struct{}),
-		adj:   make([]map[NodeID]struct{}, n),
-	}
-	for i := range g.adj {
-		g.adj[i] = make(map[NodeID]struct{})
-	}
-	return g
+	return &Graph{n: n, adj: adaptive.NewSlice(n, n)}
 }
 
 // N returns the number of nodes.
 func (g *Graph) N() int { return g.n }
 
 // M returns the number of edges.
-func (g *Graph) M() int { return len(g.edges) }
+func (g *Graph) M() int { return g.m }
 
 // AddEdge inserts the edge {a,b}. It reports whether the edge was newly
 // inserted (false for self-loops, out-of-range endpoints, or existing edges).
@@ -97,13 +95,11 @@ func (g *Graph) AddEdge(a, b NodeID) bool {
 	if a == b || a < 0 || b < 0 || a >= g.n || b >= g.n {
 		return false
 	}
-	e := NewEdge(a, b)
-	if _, ok := g.edges[e]; ok {
+	if !g.adj[a].Insert(b) {
 		return false
 	}
-	g.edges[e] = struct{}{}
-	g.adj[a][b] = struct{}{}
-	g.adj[b][a] = struct{}{}
+	g.adj[b].Insert(a)
+	g.m++
 	g.invalidate()
 	return true
 }
@@ -113,13 +109,11 @@ func (g *Graph) RemoveEdge(a, b NodeID) bool {
 	if a == b || a < 0 || b < 0 || a >= g.n || b >= g.n {
 		return false
 	}
-	e := NewEdge(a, b)
-	if _, ok := g.edges[e]; !ok {
+	if !g.adj[a].Delete(b) {
 		return false
 	}
-	delete(g.edges, e)
-	delete(g.adj[a], b)
-	delete(g.adj[b], a)
+	g.adj[b].Delete(a)
+	g.m--
 	g.invalidate()
 	return true
 }
@@ -129,8 +123,7 @@ func (g *Graph) HasEdge(a, b NodeID) bool {
 	if a < 0 || b < 0 || a >= g.n || b >= g.n {
 		return false
 	}
-	_, ok := g.edges[NewEdge(a, b)]
-	return ok
+	return g.adj[a].Contains(b)
 }
 
 // Degree returns the degree of v (0 for out-of-range v).
@@ -138,7 +131,7 @@ func (g *Graph) Degree(v NodeID) int {
 	if v < 0 || v >= g.n {
 		return 0
 	}
-	return len(g.adj[v])
+	return g.adj[v].Count()
 }
 
 // Neighbors returns v's neighbors in increasing order. The slice is owned by
@@ -147,11 +140,8 @@ func (g *Graph) Neighbors(v NodeID) []NodeID {
 	if v < 0 || v >= g.n {
 		return nil
 	}
-	out := make([]NodeID, 0, len(g.adj[v]))
-	for u := range g.adj[v] {
-		out = append(out, u)
-	}
-	sort.Ints(out)
+	out := make([]NodeID, 0, g.adj[v].Count())
+	g.adj[v].ForEach(func(u int) { out = append(out, u) })
 	return out
 }
 
@@ -172,10 +162,11 @@ func (g *Graph) NeighborsShared(v NodeID) []NodeID {
 	return g.flat[v]
 }
 
-// buildFlat flattens the adjacency maps into sorted per-node subslices of a
-// single backing array.
+// buildFlat flattens the adjacency rows into sorted per-node subslices of a
+// single backing array. Rows iterate in increasing order, so no sort is
+// needed.
 func (g *Graph) buildFlat() {
-	total := 2 * len(g.edges)
+	total := 2 * g.m
 	base := g.flatBase
 	if cap(base) < total {
 		base = make([]NodeID, 0, total)
@@ -185,75 +176,86 @@ func (g *Graph) buildFlat() {
 	flat := make([][]NodeID, g.n)
 	for v := 0; v < g.n; v++ {
 		start := len(base)
-		for u := range g.adj[v] {
-			base = append(base, u)
-		}
-		sort.Ints(base[start:])
+		g.adj[v].ForEach(func(u int) { base = append(base, u) })
 		flat[v] = base[start:len(base):len(base)]
 	}
 	g.flatBase = base
 	g.flat = flat
 }
 
-// Edges returns all edges in canonical sorted order (by U, then V).
+// Edges returns all edges in canonical sorted order (by U, then V). Rows are
+// walked above the diagonal, which yields exactly that order with no sort.
 func (g *Graph) Edges() []Edge {
-	out := make([]Edge, 0, len(g.edges))
-	for e := range g.edges {
-		out = append(out, e)
+	out := make([]Edge, 0, g.m)
+	for v := 0; v < g.n; v++ {
+		g.adj[v].ForEachFrom(v+1, func(u int) {
+			out = append(out, Edge{U: v, V: u})
+		})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].U != out[j].U {
-			return out[i].U < out[j].U
-		}
-		return out[i].V < out[j].V
-	})
 	return out
+}
+
+// EdgeAt returns the i-th edge (0-based) of the canonical sorted order —
+// Edges()[i] without materializing the slice. Adversaries drawing one random
+// edge per round (rng.Intn(M()) then EdgeAt) stay allocation-free while
+// making exactly the draws the Edges()-indexing formulation made.
+func (g *Graph) EdgeAt(i int) (Edge, bool) {
+	if i < 0 || i >= g.m {
+		return Edge{}, false
+	}
+	rem := i
+	var out Edge
+	found := false
+	for v := 0; v < g.n && !found; v++ {
+		g.adj[v].ScanFrom(v+1, func(u int) bool {
+			if rem == 0 {
+				out = Edge{U: v, V: u}
+				found = true
+				return false
+			}
+			rem--
+			return true
+		})
+	}
+	return out, found
 }
 
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {
-	c := New(g.n)
-	for e := range g.edges {
-		c.AddEdge(e.U, e.V)
+	c := &Graph{n: g.n, m: g.m, adj: adaptive.NewSlice(g.n, g.n)}
+	for v := range g.adj {
+		c.adj[v].CopyFrom(&g.adj[v])
 	}
 	return c
 }
 
 // Equal reports whether g and o have the same node count and edge set.
 func (g *Graph) Equal(o *Graph) bool {
-	if g.n != o.n || len(g.edges) != len(o.edges) {
+	if g.n != o.n || g.m != o.m {
 		return false
 	}
-	for e := range g.edges {
-		if _, ok := o.edges[e]; !ok {
+	for v := range g.adj {
+		if !g.adj[v].Equal(&o.adj[v]) {
 			return false
 		}
 	}
 	return true
 }
 
-// DSU returns a union-find structure with g's edges applied. Edges are
-// unioned in canonical sorted order so component-root identity (and hence
-// everything derived from Representatives) is deterministic — map order here
-// used to leak into Connectify's RNG draws and break run reproducibility.
-// Callers that only need component counts should use Connected/Components,
-// which skip the sort.
-func (g *Graph) DSU() *unionfind.DSU {
-	d := unionfind.New(g.n)
-	for _, e := range g.Edges() {
-		d.Union(e.U, e.V)
+// forEachEdge visits every edge in canonical sorted order without
+// allocating.
+func (g *Graph) forEachEdge(fn func(u, v NodeID)) {
+	for v := 0; v < g.n; v++ {
+		g.adj[v].ForEachFrom(v+1, func(u int) { fn(v, u) })
 	}
-	return d
 }
 
-// dsuUnordered applies g's edges in map order: component counts are
-// order-independent, so the hot connectivity checks (one per engine round)
-// avoid DSU()'s edge sort and allocation.
-func (g *Graph) dsuUnordered() *unionfind.DSU {
+// DSU returns a union-find structure with g's edges applied in canonical
+// sorted order, so component-root identity (and hence everything derived
+// from Representatives) is deterministic.
+func (g *Graph) DSU() *unionfind.DSU {
 	d := unionfind.New(g.n)
-	for e := range g.edges {
-		d.Union(e.U, e.V)
-	}
+	g.forEachEdge(func(u, v NodeID) { d.Union(u, v) })
 	return d
 }
 
@@ -265,7 +267,7 @@ func (g *Graph) Connected() bool {
 		return true
 	}
 	if g.conn == 0 {
-		if g.dsuUnordered().Components() == 1 {
+		if g.DSU().Components() == 1 {
 			g.conn = 1
 		} else {
 			g.conn = -1
@@ -275,7 +277,7 @@ func (g *Graph) Connected() bool {
 }
 
 // Components returns the number of connected components.
-func (g *Graph) Components() int { return g.dsuUnordered().Components() }
+func (g *Graph) Components() int { return g.DSU().Components() }
 
 // ConnectedWithout reports whether the graph stays connected after removing
 // edge e (which need not exist; then it is just Connected).
@@ -284,12 +286,12 @@ func (g *Graph) ConnectedWithout(e Edge) bool {
 		return true
 	}
 	d := unionfind.New(g.n)
-	for f := range g.edges {
-		if f == e {
-			continue
+	g.forEachEdge(func(u, v NodeID) {
+		if u == e.U && v == e.V {
+			return
 		}
-		d.Union(f.U, f.V)
-	}
+		d.Union(u, v)
+	})
 	return d.Components() == 1
 }
 
@@ -307,12 +309,12 @@ func (g *Graph) BFSDistances(src NodeID) []int {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, u := range g.Neighbors(v) {
+		g.adj[v].ForEach(func(u int) {
 			if dist[u] == -1 {
 				dist[u] = dist[v] + 1
 				queue = append(queue, u)
 			}
-		}
+		})
 	}
 	return dist
 }
@@ -332,12 +334,12 @@ func (g *Graph) BFSTree(src NodeID) []NodeID {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, u := range g.Neighbors(v) {
+		g.adj[v].ForEach(func(u int) {
 			if parent[u] == -1 {
 				parent[u] = v
 				queue = append(queue, u)
 			}
-		}
+		})
 	}
 	return parent
 }
@@ -362,31 +364,35 @@ func (g *Graph) Diameter() int {
 	return diam
 }
 
-// Validate returns an error if internal adjacency/edge-set invariants are
-// violated (used by tests and the engine's paranoia checks).
+// Validate returns an error if internal adjacency invariants are violated
+// (used by tests and the engine's paranoia checks).
 func (g *Graph) Validate() error {
 	count := 0
+	var err error
 	for v := range g.adj {
-		for u := range g.adj[v] {
-			if u == v {
-				return fmt.Errorf("graph: self-loop at %d", v)
+		if g.adj[v].Len() != g.n {
+			return fmt.Errorf("graph: row %d has universe %d, want %d", v, g.adj[v].Len(), g.n)
+		}
+		g.adj[v].ForEach(func(u int) {
+			if err != nil {
+				return
 			}
-			if _, ok := g.edges[NewEdge(v, u)]; !ok {
-				return fmt.Errorf("graph: adjacency %d-%d missing from edge set", v, u)
+			if u == v {
+				err = fmt.Errorf("graph: self-loop at %d", v)
+				return
+			}
+			if !g.adj[u].Contains(v) {
+				err = fmt.Errorf("graph: adjacency %d-%d not symmetric", v, u)
+				return
 			}
 			count++
+		})
+		if err != nil {
+			return err
 		}
 	}
-	if count != 2*len(g.edges) {
-		return fmt.Errorf("graph: adjacency count %d != 2*edges %d", count, 2*len(g.edges))
-	}
-	for e := range g.edges {
-		if e.U >= e.V {
-			return fmt.Errorf("graph: non-canonical edge %v", e)
-		}
-		if e.U < 0 || e.V >= g.n {
-			return fmt.Errorf("graph: out-of-range edge %v", e)
-		}
+	if count != 2*g.m {
+		return fmt.Errorf("graph: adjacency count %d != 2*edges %d", count, 2*g.m)
 	}
 	return nil
 }

@@ -44,10 +44,10 @@ func Sample(n, k int, rng *rand.Rand) (*Instance, error) {
 			for t := 0; t < k; t++ {
 				if rng.Intn(4) == 0 {
 					s.Add(t)
+					total++ // counted at insertion; no popcount sweep per node
 				}
 			}
 			inst.kprime[v] = s
-			total += s.Count()
 		}
 		if total <= budget {
 			return inst, nil
@@ -75,7 +75,10 @@ func (in *Instance) KPrimeTotal() int {
 }
 
 // Potential computes Φ = Σ_v |K_v ∪ K'_v| against the engine's current
-// knowledge (pre-delivery when called from an adversary's NextGraph).
+// knowledge (pre-delivery when called from an adversary's NextGraph). Each
+// per-node term is one fused union-count through the adaptive knowledge set
+// — a single word sweep once K_v is dense, an O(|K_v|) probe walk while it
+// is sparse — with no temporary union set materialized.
 func (in *Instance) Potential(view *sim.View) int64 {
 	var phi int64
 	for v := 0; v < in.n; v++ {

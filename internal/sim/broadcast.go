@@ -136,8 +136,7 @@ func (m *broadcastMode) exchange(r int, g *graph.Graph) (int64, error) {
 			continue
 		}
 		for _, u := range g.NeighborsShared(v) {
-			if !know[u].Contains(m.choices[v]) {
-				know[u].Add(m.choices[v])
+			if know[u].Insert(m.choices[v]) {
 				metrics.Learnings++
 				learned++
 			}

@@ -6,7 +6,7 @@ import (
 	"math/rand"
 	"sort"
 
-	"dynspread/internal/bitset"
+	"dynspread/internal/bitset/adaptive"
 	"dynspread/internal/graph"
 	"dynspread/internal/token"
 )
@@ -142,10 +142,11 @@ func buildArrivals(sched []int, k int) ([]arrival, int, error) {
 // communication mode: per-node knowledge sets and the metrics accumulator.
 type engineState struct {
 	n, k    int
-	know    []*bitset.Set
+	know    []*adaptive.Set
 	metrics Metrics
 }
 
+// complete costs one integer compare per node: adaptive.Full is O(1).
 func (st *engineState) complete() bool {
 	for v := 0; v < st.n; v++ {
 		if !st.know[v].Full() {

@@ -51,10 +51,6 @@ func RunUnicast(cfg UnicastConfig) (*Result, error) {
 	}, &unicastMode{cfg: cfg})
 }
 
-// sendKey identifies one directed (sender, receiver) pair for the per-round
-// bandwidth check (at most one message per directed edge per round).
-type sendKey struct{ from, to graph.NodeID }
-
 // unicastMode is the unicast half of the engine: nodes learn their
 // round-start neighbors, send point-to-point messages (validated against the
 // graph, the bandwidth limit, and the token-forwarding rule), and receive
@@ -145,7 +141,11 @@ func (m *unicastMode) exchange(r int, g *graph.Graph) (int64, error) {
 	}
 
 	sent := m.raw[:0]
-	used := m.cfg.Workspace.usedFor(2 * g.M())
+	// Bandwidth check (at most one message per directed edge per round):
+	// validate pins msg.From == v and the loop visits senders in order, so
+	// stamps[to] == v+1 marks "v already sent to to this round" — a flat
+	// array probe where a map[{from,to}]bool used to hash on the hot path.
+	stamps := m.cfg.Workspace.sendStampsFor(n)
 	for v := 0; v < n; v++ {
 		for _, raw := range m.protos[v].Send(r) {
 			msg := raw
@@ -155,11 +155,10 @@ func (m *unicastMode) exchange(r int, g *graph.Graph) (int64, error) {
 			if !g.HasEdge(msg.From, msg.To) {
 				return 0, fmt.Errorf("sim: round %d: node %d sent to non-neighbor %d", r, v, msg.To)
 			}
-			p := sendKey{msg.From, msg.To}
-			if used[p] {
+			if stamps[msg.To] == v+1 {
 				return 0, fmt.Errorf("sim: round %d: node %d sent two messages to %d (bandwidth violation)", r, v, msg.To)
 			}
-			used[p] = true
+			stamps[msg.To] = v + 1
 			if t := msg.carriedToken(); t != token.None {
 				if t < 0 || t >= k {
 					return 0, fmt.Errorf("sim: round %d: node %d sent invalid token %d", r, v, t)
@@ -227,8 +226,9 @@ func (m *unicastMode) exchange(r int, g *graph.Graph) (int64, error) {
 
 	var learned int64
 	for i := range sorted {
-		if t := sorted[i].carriedToken(); t != token.None && !know[sorted[i].To].Contains(t) {
-			know[sorted[i].To].Add(t)
+		// Insert fuses the membership test with the set: one probe per
+		// delivered token instead of Contains-then-Add.
+		if t := sorted[i].carriedToken(); t != token.None && know[sorted[i].To].Insert(t) {
 			metrics.Learnings++
 			learned++
 		}

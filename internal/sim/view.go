@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"dynspread/internal/bitset"
+	"dynspread/internal/bitset/adaptive"
 	"dynspread/internal/graph"
 	"dynspread/internal/token"
 )
@@ -32,7 +33,7 @@ type View struct {
 	// request/response exchanges.
 	LastSent []Message
 
-	know []*bitset.Set
+	know []*adaptive.Set
 }
 
 // Knows reports whether node v currently holds token t.
@@ -53,7 +54,9 @@ func (v *View) KnowledgeCount(node graph.NodeID) int {
 
 // KnowledgeUnionCount returns |K_v ∪ other| for an adversary-supplied set
 // (used by the Section 2 adversary for the potential function Φ without
-// copying knowledge sets every round).
+// copying knowledge sets every round). It goes through the adaptive
+// representation: a fused word sweep when K_v is dense, an O(|K_v|) probe
+// walk while it is still sparse.
 func (v *View) KnowledgeUnionCount(node graph.NodeID, other *bitset.Set) int {
 	if node < 0 || node >= len(v.know) {
 		return -1

@@ -1,6 +1,6 @@
 package sim
 
-import "dynspread/internal/bitset"
+import "dynspread/internal/bitset/adaptive"
 
 // Workspace holds reusable per-execution buffers — knowledge bitsets,
 // protocol slices, delivery buffers, and counting-sort buckets. A Workspace
@@ -13,7 +13,7 @@ import "dynspread/internal/bitset"
 // engine's semantics (delivery order, RNG draws, accounting) do not depend on
 // buffer capacity.
 type Workspace struct {
-	know    []*bitset.Set
+	know    []*adaptive.Set
 	protosU []Protocol
 	protosB []BroadcastProtocol
 	heard   [][]BroadcastHear
@@ -21,34 +21,36 @@ type Workspace struct {
 	// the sorted-delivery buffers the unicast mode ping-pongs between rounds
 	// (current delivery vs. the previous round's LastSent); counts is the
 	// counting-sort bucket array.
-	sendRaw  []Message
-	sendA    []Message
-	sendB    []Message
-	counts   []int
-	used     map[sendKey]bool
-	usedHint int
-	choices  []int // token.ID values; int keeps the import surface small
+	sendRaw []Message
+	sendA   []Message
+	sendB   []Message
+	counts  []int
+	// sendStamps is the bandwidth-check scratch: stamps[to] == v+1 marks "v
+	// already sent to to this round" (see unicastMode.exchange).
+	sendStamps []int
+	choices    []int // token.ID values; int keeps the import surface small
 }
 
 // NewWorkspace returns an empty workspace.
 func NewWorkspace() *Workspace { return &Workspace{} }
 
-// knowFor returns n cleared bitsets of capacity k. Cached sets are resized
-// in place (bitset.Reset reuses word storage), so sweeping the K axis at a
-// fixed n — or the N axis at fixed K — stops reallocating once the worker
-// has seen the largest shape.
-func (w *Workspace) knowFor(n, k int) []*bitset.Set {
+// knowFor returns n cleared adaptive knowledge sets of universe k. Cached
+// sets are resized in place (adaptive.Reset reuses both representations'
+// storage), so sweeping the K axis at a fixed n — or the N axis at fixed K —
+// stops reallocating once the worker has seen the largest shape, and a
+// reused set's sparse→dense promotion reuses its retained dense words.
+func (w *Workspace) knowFor(n, k int) []*adaptive.Set {
 	if w == nil {
-		know := make([]*bitset.Set, n)
+		know := make([]*adaptive.Set, n)
 		for v := range know {
-			know[v] = bitset.New(k)
+			know[v] = adaptive.New(k)
 		}
 		return know
 	}
 	if cap(w.know) >= n {
 		w.know = w.know[:n]
 	} else {
-		grown := make([]*bitset.Set, n)
+		grown := make([]*adaptive.Set, n)
 		// Copy the full capacity, not just the current length: sets cached
 		// by an earlier, larger run survive beyond len and stay reusable.
 		copy(grown, w.know[:cap(w.know)])
@@ -56,7 +58,7 @@ func (w *Workspace) knowFor(n, k int) []*bitset.Set {
 	}
 	for v, s := range w.know {
 		if s == nil {
-			w.know[v] = bitset.New(k)
+			w.know[v] = adaptive.New(k)
 		} else {
 			s.Reset(k)
 		}
@@ -130,24 +132,20 @@ func (w *Workspace) storeUnicastBuffers(raw, sortBuf, last []Message, counts []i
 	w.sendRaw, w.sendA, w.sendB, w.counts = raw, sortBuf, last, counts
 }
 
-// usedFor returns an empty bandwidth-tracking set. Go maps never shrink, so
-// if the cached map was sized for a much larger instance it is dropped
-// rather than letting one big trial make clear() expensive for every later
-// small trial on this worker.
-func (w *Workspace) usedFor(capacity int) map[sendKey]bool {
-	if w == nil {
-		return make(map[sendKey]bool, capacity)
+// sendStampsFor returns a zeroed length-n stamp array for the per-round
+// bandwidth check. Clearing n machine words per round is far cheaper than
+// the map hashing it replaced.
+func (w *Workspace) sendStampsFor(n int) []int {
+	if w == nil || cap(w.sendStamps) < n {
+		s := make([]int, n)
+		if w != nil {
+			w.sendStamps = s
+		}
+		return s
 	}
-	if w.used == nil || w.usedHint > 8*(capacity+1) {
-		w.used = make(map[sendKey]bool, capacity)
-		w.usedHint = capacity
-		return w.used
-	}
-	if capacity > w.usedHint {
-		w.usedHint = capacity
-	}
-	clear(w.used)
-	return w.used
+	s := w.sendStamps[:n]
+	clear(s)
+	return s
 }
 
 // choicesFor returns a length-n scratch slice for broadcast choices.
