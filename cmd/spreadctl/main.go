@@ -5,6 +5,8 @@
 //	spreadctl submit -server http://localhost:8080 -grid grid.json -watch
 //	spreadctl jobs   -server http://localhost:8080
 //	spreadctl job    -server http://localhost:8080 -id j000003
+//	spreadctl watch  -server http://localhost:8080 j000003
+//	spreadctl top    -server http://localhost:8080
 //	spreadctl sweep  -workers localhost:8081,localhost:8082 \
 //	                 -store ./results -grid grid.json -out results.json
 //	spreadctl catalog -server http://localhost:8080
@@ -58,6 +60,10 @@ func main() {
 		err = cmdJobs(ctx, os.Args[2:])
 	case "job":
 		err = cmdJob(ctx, os.Args[2:])
+	case "watch":
+		err = cmdWatch(ctx, os.Args[2:])
+	case "top":
+		err = cmdTop(ctx, os.Args[2:])
 	case "sweep":
 		err = cmdSweep(ctx, os.Args[2:])
 	case "catalog":
@@ -81,6 +87,9 @@ commands:
   submit   submit a grid to one server (-server, -grid, [-async] [-watch] [-out])
   jobs     list a server's jobs with status counts (-server)
   job      show one job (-server, -id)
+  watch    stream a job live over JSONL (-server, -id or positional, [-out])
+  top      refreshing one-screen server view from /v1/metrics (-server,
+           [-interval d] [-once])
   sweep    distributed client-side sweep over workers (-workers, -grid,
            [-store dir] [-shard-size n] [-out file])
   catalog  list a server's registered algorithms/adversaries/scenarios (-server)

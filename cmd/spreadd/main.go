@@ -25,6 +25,12 @@
 //	spreadd -addr :8081 &   spreadd -addr :8082 &          # workers
 //	spreadd -addr :8080 -peers localhost:8081,localhost:8082 -store ./results
 //
+// Observability: GET /v1/metrics serves Prometheus text exposition merging
+// service, sweep-pool (or cluster), and store metrics; GET /v1/readyz gates
+// traffic (503 while submissions would be refused) while /v1/healthz stays
+// pure liveness; POST /v1/runs?stream=1 streams results as JSONL (spreadctl
+// watch/top render these live). -pprof additionally exposes /debug/pprof/.
+//
 // Small jobs answer synchronously; large ones return 202 with a
 // /v1/jobs/{id} to poll. SIGINT/SIGTERM shut the daemon down gracefully:
 // the listener stops, in-flight jobs drain (bounded by -drain-timeout, after
@@ -38,12 +44,14 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"dynspread/internal/cluster"
+	"dynspread/internal/obs"
 	"dynspread/internal/service"
 	"dynspread/internal/store"
 )
@@ -60,27 +68,33 @@ func main() {
 		peers        = flag.String("peers", "", "comma-separated spreadd worker base URLs; when set, this daemon coordinates: POST /v1/runs jobs are sharded across the peers")
 		storeDir     = flag.String("store", "", "persistent result-store directory (coordinator mode): stored trials are served from disk, new results appended")
 		shardSize    = flag.Int("shard-size", 0, "trials per shard in coordinator mode (0 = default)")
+		pprofOn      = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default; see docs for the profiling recipe)")
 	)
 	flag.Parse()
 
+	// One registry merges every layer's metrics — service, sweep pool or
+	// cluster coordinator, result store — onto GET /v1/metrics.
+	reg := obs.NewRegistry()
 	cfg := service.Config{
 		Parallelism:    *parallelism,
 		QueueDepth:     *queueDepth,
 		JobWorkers:     *jobWorkers,
 		CacheSize:      *cacheSize,
 		SyncTrialLimit: *syncLimit,
+		Registry:       reg,
 	}
 
 	mode := "worker"
 	if *peers != "" {
 		workers := service.SplitBaseURLs(*peers)
-		ccfg := cluster.Config{Workers: workers, ShardSize: *shardSize}
+		ccfg := cluster.Config{Workers: workers, ShardSize: *shardSize, Metrics: reg}
 		if *storeDir != "" {
 			st, err := store.Open(*storeDir)
 			if err != nil {
 				log.Fatalf("spreadd: %v", err)
 			}
 			defer st.Close()
+			st.Register(reg)
 			ccfg.Store = st
 		}
 		coord, err := cluster.New(ccfg)
@@ -97,9 +111,24 @@ func main() {
 	}
 
 	svc := service.New(cfg)
+	handler := svc.Handler()
+	if *pprofOn {
+		// Explicit pprof routes on a wrapping mux rather than the
+		// DefaultServeMux side effect of importing net/http/pprof — nothing
+		// is exposed unless the flag asked for it.
+		root := http.NewServeMux()
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		root.Handle("/", handler)
+		handler = root
+		log.Printf("spreadd: pprof enabled on /debug/pprof/")
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           svc.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dynspread/internal/obs"
 	"dynspread/internal/service"
 	"dynspread/internal/stats"
 	"dynspread/internal/store"
@@ -64,6 +65,11 @@ type Config struct {
 	// stored are served from it without dispatch, and every new result is
 	// appended, making the sweep resumable and cached across runs.
 	Store *store.Store
+	// Metrics, when non-nil, receives the coordinator's metric families
+	// (aggregate counters plus per-worker dispatch/retry/failure/health,
+	// labeled by worker base URL). A coordinator-mode spreadd passes the
+	// same registry its service layer exposes on GET /v1/metrics.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +110,7 @@ type Stats struct {
 type Coordinator struct {
 	cfg     Config
 	clients []*service.Client
+	metrics *clusterMetrics // nil when Config.Metrics is nil; methods are nil-safe
 
 	mu       sync.Mutex
 	failures []int  // consecutive failures per worker
@@ -134,6 +141,9 @@ func New(cfg Config) (*Coordinator, error) {
 			HTTPClient: cfg.HTTPClient,
 			Timeout:    cfg.RequestTimeout,
 		}
+	}
+	if cfg.Metrics != nil {
+		c.metrics = newClusterMetrics(cfg.Metrics, cfg.Workers, c)
 	}
 	return c, nil
 }
@@ -173,12 +183,13 @@ func (c *Coordinator) recordFailure(w int) (nowDead bool) {
 		return false
 	}
 	c.failures[w]++
-	if c.failures[w] >= c.cfg.FailureLimit {
+	nowDead = c.failures[w] >= c.cfg.FailureLimit
+	if nowDead {
 		c.dead[w] = true
 		c.stats.deadWorkers.Add(1)
-		return true
 	}
-	return false
+	c.metrics.failed(w, nowDead)
+	return nowDead
 }
 
 // reviveDeadWorkers puts every dead worker back in rotation on probation:
@@ -190,6 +201,7 @@ func (c *Coordinator) reviveDeadWorkers() {
 		if c.dead[w] {
 			c.dead[w] = false
 			c.failures[w] = c.cfg.FailureLimit - 1
+			c.metrics.healthy(w)
 		}
 	}
 }
@@ -198,6 +210,7 @@ func (c *Coordinator) recordSuccess(w int) {
 	c.mu.Lock()
 	c.failures[w] = 0
 	c.mu.Unlock()
+	c.metrics.healthy(w)
 }
 
 // RunGrid expands a grid and runs it distributed; see Run.
@@ -347,6 +360,7 @@ func (c *Coordinator) dispatch(ctx context.Context, plan []wire.ShardRequest, de
 				case <-done:
 					return
 				case sa := <-work:
+					c.metrics.dispatched(w)
 					if err := c.runShard(runCtx, w, sa.shard, deliver); err != nil {
 						if runCtx.Err() != nil {
 							return
@@ -365,6 +379,7 @@ func (c *Coordinator) dispatch(ctx context.Context, plan []wire.ShardRequest, de
 						}
 						sa.attempt++
 						c.stats.retries.Add(1)
+						c.metrics.retried(w)
 						if sa.attempt >= c.cfg.MaxShardAttempts {
 							fail(fmt.Errorf("cluster: shard %d/%d failed %d times, giving up: %w", sa.shard.Shard, sa.shard.Shards, sa.attempt, err))
 							return
@@ -386,6 +401,7 @@ func (c *Coordinator) dispatch(ctx context.Context, plan []wire.ShardRequest, de
 						continue
 					}
 					c.recordSuccess(w)
+					c.metrics.shardDone()
 					if outstanding.Add(-1) == 0 {
 						close(done)
 						return

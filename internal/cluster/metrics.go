@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"dynspread/internal/obs"
+)
+
+// clusterMetrics is the coordinator's metric set: cumulative counters the
+// coordinator already keeps for Stats() re-exported as scrape-time funcs,
+// plus per-worker families labeled by the worker's base URL — dispatches,
+// retries, failures, and a 0/1 alive gauge — so one /v1/metrics page shows
+// which worker is limping before the failure limit kills it. A nil
+// *clusterMetrics is valid and records nothing (the un-metered path costs
+// one nil check), so the coordinator's hot paths call methods
+// unconditionally.
+type clusterMetrics struct {
+	shardsCompleted *obs.Counter
+	dispatch        []*obs.Counter // per-worker shard dispatch attempts
+	retries         []*obs.Counter // per-worker shards that failed and were re-enqueued
+	failures        []*obs.Counter // per-worker consecutive-failure events
+	alive           []*obs.Gauge   // per-worker 0/1 health state
+}
+
+func newClusterMetrics(reg *obs.Registry, workers []string, c *Coordinator) *clusterMetrics {
+	reg.CounterFunc("dynspread_cluster_trials_total",
+		"Trials requested across Run calls (duplicates included).",
+		func() float64 { return float64(c.stats.trials.Load()) })
+	reg.CounterFunc("dynspread_cluster_store_hits_total",
+		"Trials served from the persistent result store without dispatch.",
+		func() float64 { return float64(c.stats.storeHits.Load()) })
+	reg.CounterFunc("dynspread_cluster_deduped_total",
+		"Trials that shared another instance's execution within a run.",
+		func() float64 { return float64(c.stats.deduped.Load()) })
+	reg.CounterFunc("dynspread_cluster_dispatched_trials_total",
+		"Trials executed on workers (completed shards only).",
+		func() float64 { return float64(c.stats.dispatched.Load()) })
+	reg.CounterFunc("dynspread_cluster_worker_cache_hits_total",
+		"Dispatched trials workers answered from their own run caches.",
+		func() float64 { return float64(c.stats.workerCacheHits.Load()) })
+	reg.CounterFunc("dynspread_cluster_shards_total",
+		"Shards planned for dispatch.",
+		func() float64 { return float64(c.stats.shards.Load()) })
+	reg.CounterFunc("dynspread_cluster_retries_total",
+		"Shard re-dispatch attempts after a worker failure.",
+		func() float64 { return float64(c.stats.retries.Load()) })
+	reg.CounterFunc("dynspread_cluster_dead_workers_total",
+		"Workers marked dead after crossing the consecutive-failure limit.",
+		func() float64 { return float64(c.stats.deadWorkers.Load()) })
+
+	m := &clusterMetrics{
+		shardsCompleted: reg.Counter("dynspread_cluster_shards_completed_total",
+			"Shards that delivered all their results; with shards_total this is shard progress."),
+		dispatch: make([]*obs.Counter, len(workers)),
+		retries:  make([]*obs.Counter, len(workers)),
+		failures: make([]*obs.Counter, len(workers)),
+		alive:    make([]*obs.Gauge, len(workers)),
+	}
+	dispatchVec := reg.CounterVec("dynspread_cluster_worker_dispatch_total",
+		"Shard dispatch attempts per worker.", "worker")
+	retryVec := reg.CounterVec("dynspread_cluster_worker_retries_total",
+		"Shards a worker failed that were re-enqueued for any live worker.", "worker")
+	failureVec := reg.CounterVec("dynspread_cluster_worker_failures_total",
+		"Failed dispatches per worker.", "worker")
+	aliveVec := reg.GaugeVec("dynspread_cluster_worker_alive",
+		"Worker health: 1 in rotation, 0 marked dead.", "worker")
+	for w, base := range workers {
+		m.dispatch[w] = dispatchVec.With(base)
+		m.retries[w] = retryVec.With(base)
+		m.failures[w] = failureVec.With(base)
+		m.alive[w] = aliveVec.With(base)
+		m.alive[w].Set(1)
+	}
+	return m
+}
+
+func (m *clusterMetrics) dispatched(w int) {
+	if m != nil {
+		m.dispatch[w].Inc()
+	}
+}
+
+func (m *clusterMetrics) retried(w int) {
+	if m != nil {
+		m.retries[w].Inc()
+	}
+}
+
+func (m *clusterMetrics) failed(w int, nowDead bool) {
+	if m == nil {
+		return
+	}
+	m.failures[w].Inc()
+	if nowDead {
+		m.alive[w].Set(0)
+	}
+}
+
+func (m *clusterMetrics) healthy(w int) {
+	if m != nil {
+		m.alive[w].Set(1)
+	}
+}
+
+func (m *clusterMetrics) shardDone() {
+	if m != nil {
+		m.shardsCompleted.Inc()
+	}
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestWriteRoundTrip: everything the registry can hold survives a write →
+// strict-parse round trip with values intact — counters, gauges, labeled
+// vecs, func-backed samples, histograms, and OnScrape-refreshed gauges.
+func TestWriteRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_events_total", "Events seen.")
+	c.Add(41)
+	c.Inc()
+	g := r.Gauge("test_depth", "Current depth.")
+	g.Set(7)
+	g.Dec()
+	cv := r.CounterVec("test_requests_total", "Requests by endpoint.", "endpoint")
+	cv.With("/v1/runs").Add(3)
+	cv.With("/v1/jobs").Inc()
+	h := r.Histogram("test_duration_seconds", "Durations.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	r.GaugeFunc("test_sampled", "Sampled at scrape.", func() float64 { return 2.5 })
+	r.CounterFunc("test_sampled_total", "Sampled counter.", func() float64 { return 9 })
+	scraped := 0
+	sg := r.Gauge("test_scrape_refreshed", "Set by OnScrape.")
+	r.OnScrape(func() { scraped++; sg.Set(int64(scraped)) })
+
+	var buf strings.Builder
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseText(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("own output fails the strict parser: %v\n%s", err, buf.String())
+	}
+
+	want := func(name string, labels map[string]string, v float64) {
+		t.Helper()
+		f := Find(fams, name)
+		if f == nil {
+			t.Fatalf("family %q missing from:\n%s", name, buf.String())
+		}
+		got, ok := f.Value(labels)
+		if !ok || got != v {
+			t.Fatalf("%s%v = %v, %v; want %v", name, labels, got, ok, v)
+		}
+	}
+	want("test_events_total", nil, 42)
+	want("test_depth", nil, 6)
+	want("test_requests_total", map[string]string{"endpoint": "/v1/runs"}, 3)
+	want("test_requests_total", map[string]string{"endpoint": "/v1/jobs"}, 1)
+	want("test_sampled", nil, 2.5)
+	want("test_sampled_total", nil, 9)
+	want("test_scrape_refreshed", nil, 1)
+
+	hist := Find(fams, "test_duration_seconds")
+	if hist == nil || hist.Type != "histogram" {
+		t.Fatalf("histogram family wrong: %+v", hist)
+	}
+	// Cumulative buckets: 0.1→1, 1→3, 10→4, +Inf→5.
+	wantBuckets := map[string]float64{"0.1": 1, "1": 3, "10": 4, "+Inf": 5}
+	for _, s := range hist.Samples {
+		switch s.Name {
+		case "test_duration_seconds_bucket":
+			if want, ok := wantBuckets[s.Labels["le"]]; !ok || s.Value != want {
+				t.Errorf("bucket le=%q = %v, want %v", s.Labels["le"], s.Value, want)
+			}
+		case "test_duration_seconds_count":
+			if s.Value != 5 {
+				t.Errorf("count = %v, want 5", s.Value)
+			}
+		case "test_duration_seconds_sum":
+			if math.Abs(s.Value-56.05) > 1e-9 {
+				t.Errorf("sum = %v, want 56.05", s.Value)
+			}
+		}
+	}
+
+	// A second scrape runs the hook again and counters stay monotone.
+	var buf2 strings.Builder
+	if _, err := r.WriteTo(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	fams2, err := ParseText(strings.NewReader(buf2.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := Find(fams2, "test_scrape_refreshed").Value(nil); v != 2 {
+		t.Fatalf("OnScrape ran %v times by second scrape, want 2", v)
+	}
+	if v, _ := Find(fams2, "test_events_total").Value(nil); v != 42 {
+		t.Fatalf("counter moved between scrapes with no updates: %v", v)
+	}
+}
+
+// TestLabelEscaping: label values containing quotes, backslashes, and
+// newlines round-trip through the writer and parser.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("test_workers", "Worker health.", "worker")
+	hairy := `http://a"b\c` + "\nnext"
+	v.With(hairy).Set(1)
+	var buf strings.Builder
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "\n") != 3 {
+		t.Fatalf("raw newline leaked into exposition:\n%q", buf.String())
+	}
+	fams, err := ParseText(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, buf.String())
+	}
+	if got, ok := Find(fams, "test_workers").Value(map[string]string{"worker": hairy}); !ok || got != 1 {
+		t.Fatalf("escaped label did not round-trip: %v %v", got, ok)
+	}
+}
+
+// TestRegistrationPanics: invalid and duplicate registrations are bugs and
+// panic immediately.
+func TestRegistrationPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(*Registry)
+	}{
+		{"bad name", func(r *Registry) { r.Counter("7bad", "") }},
+		{"empty name", func(r *Registry) { r.Counter("", "") }},
+		{"bad label", func(r *Registry) { r.CounterVec("test_total", "", "le:gal") }},
+		{"dup", func(r *Registry) { r.Counter("test_total", ""); r.Gauge("test_total", "") }},
+		{"no buckets", func(r *Registry) { r.Histogram("test_h", "", nil) }},
+		{"unsorted buckets", func(r *Registry) { r.Histogram("test_h", "", []float64{2, 1}) }},
+		{"label cardinality", func(r *Registry) { r.CounterVec("test_total", "", "a").With("x", "y") }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			tc.fn(NewRegistry())
+		})
+	}
+}
+
+// TestConcurrentUpdates: hot-path updates from many goroutines land exactly
+// once each (run under -race in CI).
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "")
+	h := r.Histogram("test_h", "", []float64{1, 2})
+	vec := r.CounterVec("test_vec_total", "", "w")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			child := vec.With("shared")
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(1.5)
+				child.Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if h.Count() != workers*per || h.Sum() != 1.5*workers*per {
+		t.Fatalf("histogram count=%d sum=%v", h.Count(), h.Sum())
+	}
+	if vec.With("shared").Value() != workers*per {
+		t.Fatalf("vec = %d", vec.With("shared").Value())
+	}
+}

@@ -1,0 +1,390 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed series: a sample name (the family name, or the
+// family name + _bucket/_sum/_count for histograms), its label pairs, and
+// its value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one parsed metric family: the HELP/TYPE header plus every
+// sample that followed it.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+// Value returns the value of the sample of this family whose label set
+// equals labels exactly (nil matches the unlabeled sample). The sample name
+// must be the bare family name — use Sample lookups directly for histogram
+// _bucket/_sum/_count series.
+func (f *Family) Value(labels map[string]string) (float64, bool) {
+	for _, s := range f.Samples {
+		if s.Name != f.Name || len(s.Labels) != len(labels) {
+			continue
+		}
+		match := true
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Find returns the family with the given name, or nil.
+func Find(fams []Family, name string) *Family {
+	for i := range fams {
+		if fams[i].Name == name {
+			return &fams[i]
+		}
+	}
+	return nil
+}
+
+// ParseText is a STRICT parser for the Prometheus text exposition format as
+// this package writes it — the verification side of WriteTo, shared by the
+// format tests and spreadctl top. It fails on anything a scraper could
+// choke on:
+//
+//   - a sample with no preceding # HELP + # TYPE header for its family
+//   - a HELP without a TYPE (or in the wrong order), or a repeated family
+//   - an unknown TYPE, a malformed sample line, or bad label syntax
+//   - a sample name that is not the family name (plus _bucket/_sum/_count
+//     for histograms)
+//   - duplicate series (same sample name and label set)
+//   - a histogram whose buckets are non-cumulative, missing le, missing the
+//     +Inf bucket, or whose +Inf bucket exceeds its _count
+func ParseText(r io.Reader) ([]Family, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	var fams []Family
+	var cur *Family
+	var pendingHelp *Family     // HELP seen, TYPE not yet
+	seen := map[string]bool{}   // family names
+	series := map[string]bool{} // sample name + sorted labels
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		fail := func(format string, args ...any) ([]Family, error) {
+			return nil, fmt.Errorf("obs: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || fields[0] != "#" {
+				return fail("malformed comment %q", line)
+			}
+			switch fields[1] {
+			case "HELP":
+				if pendingHelp != nil {
+					return fail("HELP for %q while HELP for %q still awaits its TYPE", fields[2], pendingHelp.Name)
+				}
+				name := fields[2]
+				if !validName(name) {
+					return fail("invalid metric name %q", name)
+				}
+				if seen[name] {
+					return fail("family %q declared twice", name)
+				}
+				seen[name] = true
+				help := ""
+				if len(fields) == 4 {
+					help = fields[3]
+				}
+				pendingHelp = &Family{Name: name, Help: unescapeHelp(help)}
+			case "TYPE":
+				if pendingHelp == nil || pendingHelp.Name != fields[2] {
+					return fail("TYPE %q without an immediately preceding HELP", fields[2])
+				}
+				if len(fields) != 4 {
+					return fail("TYPE line missing a type")
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+					pendingHelp.Type = fields[3]
+				default:
+					return fail("unknown TYPE %q", fields[3])
+				}
+				fams = append(fams, *pendingHelp)
+				cur = &fams[len(fams)-1]
+				pendingHelp = nil
+			default:
+				return fail("unknown comment keyword %q", fields[1])
+			}
+			continue
+		}
+		if pendingHelp != nil {
+			return fail("sample before TYPE for family %q", pendingHelp.Name)
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return fail("%v", err)
+		}
+		if cur == nil {
+			return fail("sample %q before any family header", s.Name)
+		}
+		if !sampleBelongs(cur, s.Name) {
+			return fail("sample %q does not belong to family %q (type %s)", s.Name, cur.Name, cur.Type)
+		}
+		key := seriesKey(s)
+		if series[key] {
+			return fail("duplicate series %s", key)
+		}
+		series[key] = true
+		cur.Samples = append(cur.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: %w", err)
+	}
+	if pendingHelp != nil {
+		return nil, fmt.Errorf("obs: HELP for %q never got its TYPE", pendingHelp.Name)
+	}
+	for i := range fams {
+		if fams[i].Type == "histogram" {
+			if err := checkHistogram(&fams[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+// sampleBelongs reports whether a sample name is legal inside fam.
+func sampleBelongs(fam *Family, name string) bool {
+	if name == fam.Name {
+		return fam.Type != "histogram" && fam.Type != "summary"
+	}
+	if fam.Type == "histogram" {
+		return name == fam.Name+"_bucket" || name == fam.Name+"_sum" || name == fam.Name+"_count"
+	}
+	return false
+}
+
+func seriesKey(s Sample) string {
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	for _, k := range keys {
+		b.WriteString(labelSep)
+		b.WriteString(k)
+		b.WriteString("=")
+		b.WriteString(s.Labels[k])
+	}
+	return b.String()
+}
+
+// parseSample parses `name{l="v",...} value` with full escape handling.
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	s.Name = line[:i]
+	if !validName(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	if i < len(line) && line[i] == '{' {
+		i++
+		for {
+			if i >= len(line) {
+				return s, fmt.Errorf("unterminated label set")
+			}
+			if line[i] == '}' {
+				i++
+				break
+			}
+			j := i
+			for j < len(line) && line[j] != '=' {
+				j++
+			}
+			if j >= len(line) {
+				return s, fmt.Errorf("label without '='")
+			}
+			lname := line[i:j]
+			if !validLabel(lname) {
+				return s, fmt.Errorf("invalid label name %q", lname)
+			}
+			if _, dup := s.Labels[lname]; dup {
+				return s, fmt.Errorf("duplicate label %q", lname)
+			}
+			i = j + 1
+			if i >= len(line) || line[i] != '"' {
+				return s, fmt.Errorf("label %q value not quoted", lname)
+			}
+			i++
+			var val strings.Builder
+			for {
+				if i >= len(line) {
+					return s, fmt.Errorf("unterminated label value for %q", lname)
+				}
+				c := line[i]
+				if c == '"' {
+					i++
+					break
+				}
+				if c == '\\' {
+					if i+1 >= len(line) {
+						return s, fmt.Errorf("dangling escape in label %q", lname)
+					}
+					switch line[i+1] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return s, fmt.Errorf("unknown escape \\%c in label %q", line[i+1], lname)
+					}
+					i += 2
+					continue
+				}
+				val.WriteByte(c)
+				i++
+			}
+			s.Labels[lname] = val.String()
+			if i < len(line) && line[i] == ',' {
+				i++
+			} else if i >= len(line) || line[i] != '}' {
+				return s, fmt.Errorf("expected ',' or '}' in label set")
+			}
+		}
+	}
+	if i >= len(line) || line[i] != ' ' {
+		return s, fmt.Errorf("missing value separator in %q", line)
+	}
+	rest := strings.TrimSpace(line[i+1:])
+	if rest == "" || strings.ContainsRune(rest, ' ') {
+		// A trailing field would be a timestamp; this writer never emits one,
+		// and the strict parser rejects what the writer cannot produce.
+		return s, fmt.Errorf("malformed value %q", rest)
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return s, err
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("malformed value %q", s)
+	}
+	return v, nil
+}
+
+func unescapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\n`, "\n")
+	return strings.ReplaceAll(s, `\\`, `\`)
+}
+
+// checkHistogram validates every labeled histogram series of fam: buckets
+// carry le and are cumulative (non-decreasing with the bound), the +Inf
+// bucket exists, and it does not exceed _count. (+Inf may trail _count by
+// in-flight observations when scraped under load, never lead it.)
+func checkHistogram(fam *Family) error {
+	type hseries struct {
+		bounds []float64
+		counts []float64
+		sum    *float64
+		count  *float64
+	}
+	bykey := map[string]*hseries{}
+	get := func(s Sample, dropLE bool) *hseries {
+		labels := make(map[string]string, len(s.Labels))
+		for k, v := range s.Labels {
+			if dropLE && k == "le" {
+				continue
+			}
+			labels[k] = v
+		}
+		key := seriesKey(Sample{Name: fam.Name, Labels: labels})
+		h, ok := bykey[key]
+		if !ok {
+			h = &hseries{}
+			bykey[key] = h
+		}
+		return h
+	}
+	for _, s := range fam.Samples {
+		switch s.Name {
+		case fam.Name + "_bucket":
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("obs: histogram %q bucket without le label", fam.Name)
+			}
+			bound, err := parseValue(le)
+			if err != nil {
+				return fmt.Errorf("obs: histogram %q bucket le=%q: %v", fam.Name, le, err)
+			}
+			h := get(s, true)
+			h.bounds = append(h.bounds, bound)
+			h.counts = append(h.counts, s.Value)
+		case fam.Name + "_sum":
+			v := s.Value
+			get(s, false).sum = &v
+		case fam.Name + "_count":
+			v := s.Value
+			get(s, false).count = &v
+		}
+	}
+	for key, h := range bykey {
+		if len(h.bounds) == 0 || h.sum == nil || h.count == nil {
+			return fmt.Errorf("obs: histogram series %s incomplete (buckets/sum/count missing)", key)
+		}
+		last := len(h.bounds) - 1
+		if !math.IsInf(h.bounds[last], 1) {
+			return fmt.Errorf("obs: histogram series %s missing the +Inf bucket", key)
+		}
+		for i := 1; i <= last; i++ {
+			if h.bounds[i] <= h.bounds[i-1] {
+				return fmt.Errorf("obs: histogram series %s buckets out of order", key)
+			}
+			if h.counts[i] < h.counts[i-1] {
+				return fmt.Errorf("obs: histogram series %s buckets not cumulative", key)
+			}
+		}
+		if h.counts[last] > *h.count {
+			return fmt.Errorf("obs: histogram series %s +Inf bucket %v exceeds _count %v", key, h.counts[last], *h.count)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseStrictness: the parser rejects every malformation a scraper
+// could choke on; the writer can never produce these, so seeing one in a
+// scrape means the exposition path is broken.
+func TestParseStrictness(t *testing.T) {
+	bad := []struct {
+		name, text string
+	}{
+		{"sample before any header", `x_total 1`},
+		{"sample between HELP and TYPE", "# HELP x_total h\nx_total 1\n# TYPE x_total counter"},
+		{"HELP without TYPE at EOF", "# HELP x_total h"},
+		{"TYPE without HELP", "# TYPE x_total counter\nx_total 1"},
+		{"double HELP", "# HELP x_total h\n# HELP y_total h"},
+		{"family declared twice", "# HELP x h\n# TYPE x counter\nx 1\n# HELP x h\n# TYPE x counter\nx 2"},
+		{"unknown type", "# HELP x h\n# TYPE x banana\nx 1"},
+		{"foreign sample in family", "# HELP x h\n# TYPE x counter\ny 1"},
+		{"bare name for histogram", "# HELP x h\n# TYPE x histogram\nx 1"},
+		{"duplicate series", "# HELP x h\n# TYPE x counter\nx 1\nx 2"},
+		{"duplicate labeled series", "# HELP x h\n# TYPE x counter\nx{a=\"1\"} 1\nx{a=\"1\"} 2"},
+		{"unterminated label set", `# HELP x h` + "\n# TYPE x gauge\n" + `x{a="1" 2`},
+		{"unquoted label value", "# HELP x h\n# TYPE x gauge\nx{a=1} 2"},
+		{"bad escape", "# HELP x h\n# TYPE x gauge\nx{a=\"\\q\"} 2"},
+		{"dangling escape", "# HELP x h\n# TYPE x gauge\nx{a=\"\\"},
+		{"missing value", "# HELP x h\n# TYPE x gauge\nx{a=\"1\"}"},
+		{"garbage value", "# HELP x h\n# TYPE x gauge\nx 1.2.3"},
+		{"timestamp field", "# HELP x h\n# TYPE x gauge\nx 1 1234567"},
+		{"invalid sample name", "# HELP x h\n# TYPE x gauge\n9x 1"},
+		{"duplicate label name", `# HELP x h` + "\n# TYPE x gauge\n" + `x{a="1",a="2"} 3`},
+		{"histogram bucket without le", "# HELP x h\n# TYPE x histogram\nx_bucket 1\nx_sum 1\nx_count 1"},
+		{"histogram missing +Inf", `# HELP x h` + "\n# TYPE x histogram\n" +
+			`x_bucket{le="1"} 1` + "\nx_sum 1\nx_count 1"},
+		{"histogram non-cumulative", `# HELP x h` + "\n# TYPE x histogram\n" +
+			`x_bucket{le="1"} 5` + "\n" + `x_bucket{le="+Inf"} 3` + "\nx_sum 1\nx_count 5"},
+		{"histogram +Inf exceeds count", `# HELP x h` + "\n# TYPE x histogram\n" +
+			`x_bucket{le="+Inf"} 9` + "\nx_sum 1\nx_count 3"},
+		{"histogram missing sum", `# HELP x h` + "\n# TYPE x histogram\n" +
+			`x_bucket{le="+Inf"} 1` + "\nx_count 1"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseText(strings.NewReader(tc.text)); err == nil {
+				t.Fatalf("accepted:\n%s", tc.text)
+			}
+		})
+	}
+}
+
+// TestParseAcceptsValidInput: hand-written valid exposition (including
+// forms our writer emits) parses with the right structure.
+func TestParseAcceptsValidInput(t *testing.T) {
+	text := `# HELP up Help with \\ backslash and \n newline.
+# TYPE up gauge
+up 1
+
+# HELP http_seconds Latency.
+# TYPE http_seconds histogram
+http_seconds_bucket{endpoint="/v1/runs",le="0.1"} 2
+http_seconds_bucket{endpoint="/v1/runs",le="+Inf"} 4
+http_seconds_sum{endpoint="/v1/runs"} 0.5
+http_seconds_count{endpoint="/v1/runs"} 4
+# HELP weird_total Counter.
+# TYPE weird_total counter
+weird_total{q="a\"b\\c\nd"} 3
+`
+	fams, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 3 {
+		t.Fatalf("parsed %d families, want 3", len(fams))
+	}
+	if fams[0].Help != `Help with \ backslash and `+"\n"+` newline.` {
+		t.Fatalf("help unescaping wrong: %q", fams[0].Help)
+	}
+	if v, ok := Find(fams, "weird_total").Value(map[string]string{"q": "a\"b\\c\nd"}); !ok || v != 3 {
+		t.Fatalf("escaped label parse: %v %v", v, ok)
+	}
+	h := Find(fams, "http_seconds")
+	if len(h.Samples) != 4 {
+		t.Fatalf("histogram samples: %d", len(h.Samples))
+	}
+}

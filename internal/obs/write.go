@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the HTTP Content-Type of the text exposition format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteTo writes every registered family in Prometheus text exposition
+// format (version 0.0.4): families sorted by name, each preceded by its
+// # HELP and # TYPE lines, series sorted by label values, histograms
+// expanded into cumulative _bucket series plus _sum and _count. OnScrape
+// hooks run first, so sampled gauges are fresh. The output is a
+// deterministic function of the registry state, which is what makes the
+// format test's scrape-to-scrape comparisons meaningful.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	hooks := append([]func(){}, r.onScrape...)
+	fams := make([]*family, 0, len(r.byName))
+	for _, f := range r.byName {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+	sort.Slice(fams, func(a, b int) bool { return fams[a].name < fams[b].name })
+
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	for _, f := range fams {
+		f.write(cw)
+		if cw.err != nil {
+			return cw.n, cw.err
+		}
+	}
+	if err := cw.w.(*bufio.Writer).Flush(); err != nil && cw.err == nil {
+		cw.err = err
+	}
+	return cw.n, cw.err
+}
+
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countingWriter) WriteString(s string) {
+	if c.err != nil {
+		return
+	}
+	n, err := io.WriteString(c.w, s)
+	c.n += int64(n)
+	c.err = err
+}
+
+// escapeHelp escapes a HELP text: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value: backslash, double quote, newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// labelString renders {k="v",...} for the given names and values, plus an
+// optional trailing le pair; empty input renders nothing.
+func labelString(names, values []string, le string) string {
+	if len(names) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteString(`"`)
+	}
+	if le != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (f *family) write(w *countingWriter) {
+	w.WriteString("# HELP " + f.name + " " + escapeHelp(f.help) + "\n")
+	w.WriteString("# TYPE " + f.name + " " + string(f.kind) + "\n")
+	if f.fn != nil {
+		w.WriteString(f.name + " " + formatFloat(f.fn()) + "\n")
+		return
+	}
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	children := make([]*child, len(keys))
+	for i, k := range keys {
+		children[i] = f.children[k]
+	}
+	f.mu.Unlock()
+	for _, c := range children {
+		switch f.kind {
+		case kindCounter:
+			w.WriteString(f.name + labelString(f.labels, c.labelValues, "") + " " +
+				strconv.FormatInt(c.counter.Value(), 10) + "\n")
+		case kindGauge:
+			w.WriteString(f.name + labelString(f.labels, c.labelValues, "") + " " +
+				strconv.FormatInt(c.gauge.Value(), 10) + "\n")
+		case kindHistogram:
+			h := c.hist
+			var cum int64
+			for i, bound := range h.upper {
+				cum += h.counts[i].Load()
+				w.WriteString(f.name + "_bucket" + labelString(f.labels, c.labelValues, formatFloat(bound)) + " " +
+					strconv.FormatInt(cum, 10) + "\n")
+			}
+			cum += h.counts[len(h.upper)].Load()
+			w.WriteString(f.name + "_bucket" + labelString(f.labels, c.labelValues, "+Inf") + " " +
+				strconv.FormatInt(cum, 10) + "\n")
+			w.WriteString(f.name + "_sum" + labelString(f.labels, c.labelValues, "") + " " +
+				formatFloat(h.Sum()) + "\n")
+			w.WriteString(f.name + "_count" + labelString(f.labels, c.labelValues, "") + " " +
+				strconv.FormatInt(h.Count(), 10) + "\n")
+		}
+	}
+}

@@ -192,6 +192,104 @@ func (c *Client) WaitJob(ctx context.Context, id string, poll time.Duration) (Jo
 	}
 }
 
+// RunStream submits a run request as a JSONL stream (POST /v1/runs?stream=1)
+// and invokes onEvent for every line until the stream ends. A non-nil error
+// from onEvent aborts the stream and is returned. The stream deliberately
+// ignores c.Timeout — it is long-lived by design — so bound it with ctx.
+func (c *Client) RunStream(ctx context.Context, req wire.RunRequest, onEvent func(wire.StreamEvent) error) error {
+	return c.doStream(ctx, http.MethodPost, "/v1/runs?stream=1", req, onEvent)
+}
+
+// JobStream attaches a JSONL stream to an already submitted job
+// (GET /v1/jobs/{id}/stream): events from the attach point forward.
+func (c *Client) JobStream(ctx context.Context, id string, onEvent func(wire.StreamEvent) error) error {
+	return c.doStream(ctx, http.MethodGet, "/v1/jobs/"+id+"/stream", nil, onEvent)
+}
+
+// doStream is do's streaming sibling: no Timeout injection (a stream's
+// lifetime is the job's), JSONL-decoded body, onEvent per line until EOF.
+func (c *Client) doStream(ctx context.Context, method, path string, body any, onEvent func(wire.StreamEvent) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return fmt.Errorf("service: %s %s: %w", method, path, ctxErr)
+		}
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		he := &HTTPError{StatusCode: resp.StatusCode, Method: method, Path: path}
+		var eb errorBody
+		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
+			he.Message = eb.Error
+		}
+		return he
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var ev wire.StreamEvent
+		if err := dec.Decode(&ev); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return fmt.Errorf("service: %s %s: %w", method, path, ctxErr)
+			}
+			return fmt.Errorf("service: decode %s %s stream: %w", method, path, err)
+		}
+		if err := onEvent(ev); err != nil {
+			return err
+		}
+	}
+}
+
+// Metrics fetches /v1/metrics: the raw Prometheus text exposition (parse
+// with obs.ParseText when structure is needed).
+func (c *Client) Metrics(ctx context.Context) ([]byte, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline && c.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.Timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, fmt.Errorf("service: GET /v1/metrics: %w", ctxErr)
+		}
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, &HTTPError{StatusCode: resp.StatusCode, Method: http.MethodGet, Path: "/v1/metrics"}
+	}
+	return io.ReadAll(resp.Body)
+}
+
 // Catalog fetches the registered algorithms, adversaries, and scenarios.
 func (c *Client) Catalog(ctx context.Context) (Catalog, error) {
 	var cat Catalog
@@ -206,8 +304,15 @@ func (c *Client) Stats(ctx context.Context) (Stats, error) {
 	return st, err
 }
 
-// Health checks /v1/healthz.
+// Health checks /v1/healthz (liveness: the process answers requests).
 func (c *Client) Health(ctx context.Context) error {
 	_, err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil)
+	return err
+}
+
+// Ready checks /v1/readyz (readiness: a submission would be accepted); a
+// 503 surfaces as an *HTTPError whose Message names the reason.
+func (c *Client) Ready(ctx context.Context) error {
+	_, err := c.do(ctx, http.MethodGet, "/v1/readyz", nil, nil)
 	return err
 }

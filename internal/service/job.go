@@ -54,7 +54,65 @@ type job struct {
 	state   JobState
 	err     error
 	results []wire.TrialResult
+	subs    []*streamSub
 	done    chan struct{}
+}
+
+// streamSub is one JSONL stream attached to a job: a bounded event buffer
+// plus a latch that flips when the consumer falls behind. Sends are
+// non-blocking — a slow consumer can NEVER stall the sweep pool — so a full
+// buffer sets lost and the stream handler downgrades to periodic progress
+// summaries instead of per-trial results.
+type streamSub struct {
+	ch   chan wire.StreamEvent
+	lost atomic.Bool
+}
+
+// subscribe attaches a stream with the given buffer size. Subscribe BEFORE
+// enqueueing the job and no result can be missed: every deliver after this
+// point fans out to the subscriber.
+func (j *job) subscribe(buf int) *streamSub {
+	sub := &streamSub{ch: make(chan wire.StreamEvent, buf)}
+	j.mu.Lock()
+	j.subs = append(j.subs, sub)
+	j.mu.Unlock()
+	return sub
+}
+
+// unsubscribe detaches a stream; late deliveries to an already-detached sub
+// simply stop.
+func (j *job) unsubscribe(sub *streamSub) {
+	j.mu.Lock()
+	for i, s := range j.subs {
+		if s == sub {
+			j.subs = append(j.subs[:i], j.subs[i+1:]...)
+			break
+		}
+	}
+	j.mu.Unlock()
+}
+
+// deliver records trial i's result (the job's progress counter and result
+// slot) and fans a "result" event out to every attached stream. Distinct
+// indices are written by distinct callers, so the slot write needs no lock —
+// the existing finish/done ordering publishes it to status readers — and the
+// fan-out send is non-blocking: a full subscriber buffer marks that
+// subscriber lost rather than waiting on it.
+func (j *job) deliver(i int, r wire.TrialResult) {
+	j.results[i] = r
+	j.completed.Add(1)
+	j.mu.Lock()
+	for _, sub := range j.subs {
+		if sub.lost.Load() {
+			continue
+		}
+		select {
+		case sub.ch <- wire.StreamEvent{Type: "result", Index: i, Result: &r}:
+		default:
+			sub.lost.Store(true)
+		}
+	}
+	j.mu.Unlock()
 }
 
 func newJob(id string, seq int, specs []wire.TrialSpec) *job {

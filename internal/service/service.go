@@ -14,11 +14,17 @@
 //	POST /v1/runs      submit trials/a grid; small jobs run synchronously
 //	                   (200 + results) while a sync slot is free, large,
 //	                   Async, or slot-starved ones queue (202 + Location:
-//	                   /v1/jobs/{id})
+//	                   /v1/jobs/{id}); ?stream=1 answers chunked JSONL
+//	                   (see stream.go for the protocol and backpressure
+//	                   contract)
 //	GET  /v1/jobs/{id} job status with live completed/total progress
+//	GET  /v1/jobs/{id}/stream attach a JSONL stream to a submitted job
 //	GET  /v1/catalog   registered algorithms, adversaries, and scenarios
-//	GET  /v1/healthz   liveness
+//	GET  /v1/healthz   pure liveness: 200 whenever the process can answer
+//	GET  /v1/readyz    readiness: 503 while submissions would be refused
+//	                   (shutdown begun or queue full), 200 otherwise
 //	GET  /v1/stats     queue depth, busy workers, job counts, cache counters
+//	GET  /v1/metrics   Prometheus text exposition (internal/obs registry)
 //
 // Shutdown drains in-flight jobs via context cancellation: the sweep pool
 // stops dispatching new trials, in-flight trials finish, and every worker
@@ -34,9 +40,12 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"dynspread/internal/obs"
 	"dynspread/internal/registry"
 	"dynspread/internal/scenario"
+	"dynspread/internal/sweep"
 	"dynspread/internal/wire"
 )
 
@@ -68,6 +77,19 @@ type Config struct {
 	// service layer — queueing, caching, progress, shutdown — is identical
 	// either way.
 	Runner Runner
+	// Registry receives the server's metrics (exposed on GET /v1/metrics).
+	// Nil creates a private registry. Pass a shared one so a daemon can merge
+	// service, sweep-pool, cluster, and store metrics into a single page.
+	// When Runner is nil, the server also registers sweep-pool metrics here
+	// (the in-process runner it installs reports through them).
+	Registry *obs.Registry
+	// StreamBuffer is each result stream's send-buffer size in events;
+	// a stream whose consumer falls this far behind drops to summary mode
+	// (default 256). See stream.go for the backpressure contract.
+	StreamBuffer int
+	// StreamSummaryInterval is the cadence of "summary" keep-alive/progress
+	// lines on result streams (default 1s).
+	StreamSummaryInterval time.Duration
 }
 
 // Runner is the execution backend of a server: wire.RunSpecs's signature.
@@ -89,6 +111,12 @@ func (c Config) withDefaults() Config {
 	if c.JobHistory <= 0 {
 		c.JobHistory = 1024
 	}
+	if c.StreamBuffer <= 0 {
+		c.StreamBuffer = 256
+	}
+	if c.StreamSummaryInterval <= 0 {
+		c.StreamSummaryInterval = time.Second
+	}
 	return c
 }
 
@@ -104,9 +132,11 @@ type Stats struct {
 
 // Server is the simulation service.
 type Server struct {
-	cfg    Config
-	runner Runner
-	cache  *Cache
+	cfg     Config
+	runner  Runner
+	cache   *Cache
+	reg     *obs.Registry
+	metrics *serverMetrics
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -133,14 +163,23 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	runner := cfg.Runner
 	if runner == nil {
-		runner = wire.RunSpecs
+		// Only the in-process runner registers sweep-pool metrics: an
+		// injected runner (coordinator mode, tests) reports through its own
+		// instruments, and registering unused families here would make
+		// /v1/metrics lie about a pool that never runs.
+		runner = wire.RunSpecsWith(sweep.NewPoolMetrics(reg))
 	}
 	s := &Server{
 		cfg:     cfg,
 		runner:  runner,
 		cache:   NewCache(cfg.CacheSize),
+		reg:     reg,
 		ctx:     ctx,
 		cancel:  cancel,
 		quit:    make(chan struct{}),
@@ -148,6 +187,7 @@ func New(cfg Config) *Server {
 		syncSem: make(chan struct{}, cfg.JobWorkers),
 		jobs:    make(map[string]*job),
 	}
+	s.metrics = newServerMetrics(s, reg)
 	for w := 0; w < cfg.JobWorkers; w++ {
 		s.workerWG.Add(1)
 		go s.worker()
@@ -186,8 +226,7 @@ func (s *Server) runJob(j *job) {
 	for i, spec := range j.specs {
 		key := Key(spec)
 		if res, ok := s.cache.Get(key); ok {
-			j.results[i] = res
-			j.completed.Add(1)
+			j.deliver(i, res)
 			j.cacheHits.Add(1)
 			continue
 		}
@@ -204,8 +243,7 @@ func (s *Server) runJob(j *job) {
 				key := missKeys[mi]
 				s.cache.Put(key, r)
 				for _, i := range missByKey[key] {
-					j.results[i] = r
-					j.completed.Add(1)
+					j.deliver(i, r)
 				}
 			})
 		if err != nil {
@@ -339,15 +377,19 @@ func (s *Server) Stats() Stats {
 	}
 }
 
-// Handler returns the /v1 API mux.
+// Handler returns the /v1 API mux. Every route is instrumented with
+// request-count and latency metrics keyed by its pattern (see route).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/runs", s.handleRuns)
-	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
-	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.route(mux, "POST /v1/runs", "/v1/runs", s.handleRuns)
+	s.route(mux, "GET /v1/jobs", "/v1/jobs", s.handleJobs)
+	s.route(mux, "GET /v1/jobs/{id}", "/v1/jobs/{id}", s.handleJob)
+	s.route(mux, "GET /v1/jobs/{id}/stream", "/v1/jobs/{id}/stream", s.handleJobStream)
+	s.route(mux, "GET /v1/catalog", "/v1/catalog", s.handleCatalog)
+	s.route(mux, "GET /v1/healthz", "/v1/healthz", s.handleHealthz)
+	s.route(mux, "GET /v1/readyz", "/v1/readyz", s.handleReadyz)
+	s.route(mux, "GET /v1/stats", "/v1/stats", s.handleStats)
+	s.route(mux, "GET /v1/metrics", "/v1/metrics", s.handleMetrics)
 	return mux
 }
 
@@ -385,6 +427,11 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 	j, err := s.submit(specs)
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	s.metrics.jobsSubmitted.Inc()
+	if streamParam(r) {
+		s.streamRun(w, r, j)
 		return
 	}
 	if !req.Async && len(specs) <= s.cfg.SyncTrialLimit {
@@ -465,8 +512,45 @@ func (s *Server) handleCatalog(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, BuildCatalog())
 }
 
+// streamParam reports whether the request opted into a JSONL stream.
+func streamParam(r *http.Request) bool {
+	switch r.URL.Query().Get("stream") {
+	case "1", "true":
+		return true
+	}
+	return false
+}
+
+// handleHealthz is PURE liveness: it answers 200 whenever the process can
+// serve a request at all, even mid-shutdown. Orchestrators restart on
+// liveness failure — readiness (below) is what gates traffic.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// readyBody is the body of GET /v1/readyz. The 503 form repeats the reason
+// under "error" so generic clients (service.Client included) surface it.
+type readyBody struct {
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+}
+
+// handleReadyz is readiness: 503 while the server would refuse a
+// submission — shutdown has begun, or the job queue is at capacity — and
+// 200 otherwise, so load balancers route work elsewhere exactly when
+// POST /v1/runs would bounce.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	switch {
+	case closed:
+		writeJSON(w, http.StatusServiceUnavailable, readyBody{Status: "shutting_down", Error: "shutting_down"})
+	case len(s.queue) >= cap(s.queue):
+		writeJSON(w, http.StatusServiceUnavailable, readyBody{Status: "queue_full", Error: "queue_full"})
+	default:
+		writeJSON(w, http.StatusOK, readyBody{Status: "ready"})
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

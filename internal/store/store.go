@@ -29,6 +29,7 @@ import (
 	"strings"
 	"sync"
 
+	"dynspread/internal/obs"
 	"dynspread/internal/wire"
 )
 
@@ -50,6 +51,12 @@ type Store struct {
 	seg     int           // highest segment number seen or created
 	written int           // records appended to the active segment
 	closed  bool
+
+	// Lifetime traffic counters (under mu; the store has no lock-free
+	// paths to protect, so plain fields suffice). Puts counts records
+	// actually appended — deduplicated re-puts don't move it.
+	gets, hits, puts int64
+	appendedBytes    int64
 }
 
 // MaxSegmentRecords is the rotation threshold: a segment that reaches this
@@ -205,6 +212,8 @@ func (s *Store) Put(key string, res wire.TrialResult) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	s.written++
+	s.puts++
+	s.appendedBytes += int64(len(b))
 	s.index[key] = res
 	return nil
 }
@@ -214,6 +223,10 @@ func (s *Store) Get(key string) (wire.TrialResult, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	res, ok := s.index[key]
+	s.gets++
+	if ok {
+		s.hits++
+	}
 	return res, ok
 }
 
@@ -234,6 +247,65 @@ func (s *Store) Len() int {
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
+
+// Stats is a snapshot of the store's contents and lifetime traffic.
+type Stats struct {
+	// Results is the number of distinct stored results; Segments the highest
+	// segment number on disk (segments are numbered from 1 with no gaps a
+	// merge doesn't introduce, so this is also the segment count).
+	Results, Segments int
+	// Gets and Hits count lookups and the subset that found a result; Puts
+	// counts records actually appended (deduplicated re-puts excluded), and
+	// AppendedBytes their encoded size.
+	Gets, Hits, Puts int64
+	AppendedBytes    int64
+}
+
+// Stats snapshots the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Results:       len(s.index),
+		Segments:      s.seg,
+		Gets:          s.gets,
+		Hits:          s.hits,
+		Puts:          s.puts,
+		AppendedBytes: s.appendedBytes,
+	}
+}
+
+// Register exposes the store on reg:
+//
+//	dynspread_store_results               gauge
+//	dynspread_store_segments              gauge
+//	dynspread_store_gets_total            counter
+//	dynspread_store_hits_total            counter
+//	dynspread_store_puts_total            counter
+//	dynspread_store_appended_bytes_total  counter
+//
+// Values are sampled at scrape time, so the store pays nothing on its own
+// paths beyond the counters it already keeps.
+func (s *Store) Register(reg *obs.Registry) {
+	reg.GaugeFunc("dynspread_store_results",
+		"Distinct results resident in the store index.",
+		func() float64 { return float64(s.Stats().Results) })
+	reg.GaugeFunc("dynspread_store_segments",
+		"Highest on-disk segment number (== segment count for unmerged stores).",
+		func() float64 { return float64(s.Stats().Segments) })
+	reg.CounterFunc("dynspread_store_gets_total",
+		"Store lookups.",
+		func() float64 { return float64(s.Stats().Gets) })
+	reg.CounterFunc("dynspread_store_hits_total",
+		"Store lookups that found a result.",
+		func() float64 { return float64(s.Stats().Hits) })
+	reg.CounterFunc("dynspread_store_puts_total",
+		"Records appended (deduplicated re-puts excluded).",
+		func() float64 { return float64(s.Stats().Puts) })
+	reg.CounterFunc("dynspread_store_appended_bytes_total",
+		"Encoded bytes appended to segments.",
+		func() float64 { return float64(s.Stats().AppendedBytes) })
+}
 
 // Close flushes and closes the active segment. The store is unusable for
 // Put afterwards; reads keep working off the index.

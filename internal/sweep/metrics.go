@@ -1,0 +1,55 @@
+package sweep
+
+import (
+	"time"
+
+	"dynspread/internal/obs"
+)
+
+// PoolMetrics is the sweep pool's metric set: live counters over a
+// registry for long-running hosts (the spreadd service) whose sweeps are
+// only observable in aggregate. Every update happens at TRIAL granularity —
+// the round hot path records nothing, which is what keeps the alloc and
+// ns/round gates green with metrics enabled (see TestSweepMetricsAllocFree).
+type PoolMetrics struct {
+	started   *obs.Counter
+	completed *obs.Counter
+	failed    *obs.Counter
+	rounds    *obs.Counter
+	messages  *obs.Counter
+	duration  *obs.Histogram
+}
+
+// NewPoolMetrics registers the sweep pool metric family on reg:
+//
+//	dynspread_sweep_trials_started_total    counter
+//	dynspread_sweep_trials_completed_total  counter
+//	dynspread_sweep_trials_failed_total     counter
+//	dynspread_sweep_rounds_total            counter (rate = rounds/sec)
+//	dynspread_sweep_messages_total          counter
+//	dynspread_sweep_trial_duration_seconds  histogram
+//
+// Register at most once per registry; share the returned handle across
+// every Run that should report through it.
+func NewPoolMetrics(reg *obs.Registry) *PoolMetrics {
+	return &PoolMetrics{
+		started:   reg.Counter("dynspread_sweep_trials_started_total", "Trials dispatched to the sweep pool."),
+		completed: reg.Counter("dynspread_sweep_trials_completed_total", "Trials completed successfully."),
+		failed:    reg.Counter("dynspread_sweep_trials_failed_total", "Trials that returned an error."),
+		rounds:    reg.Counter("dynspread_sweep_rounds_total", "Simulated rounds across completed trials; its rate is rounds/sec."),
+		messages:  reg.Counter("dynspread_sweep_messages_total", "Messages sent across completed trials."),
+		duration:  reg.Histogram("dynspread_sweep_trial_duration_seconds", "Wall-clock duration of one trial.", obs.DurationBuckets),
+	}
+}
+
+// observe records one finished trial. start is when the trial was picked up.
+func (m *PoolMetrics) observe(start time.Time, r Result, err error) {
+	if err != nil {
+		m.failed.Inc()
+		return
+	}
+	m.completed.Inc()
+	m.rounds.Add(int64(r.Res.Rounds))
+	m.messages.Add(r.Res.Metrics.Messages)
+	m.duration.Observe(time.Since(start).Seconds())
+}

@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"dynspread/internal/adversary"
 	"dynspread/internal/graph"
@@ -381,6 +382,12 @@ type Options struct {
 	// of an earlier error or a cancelled context, get no call; no call is
 	// made after Run returns.
 	OnResult func(i int, r Result)
+	// Metrics, when non-nil, records every trial the pool executes
+	// (started/completed/failed counters, rounds and messages totals, and a
+	// per-trial duration histogram) into the registry it was built on. All
+	// updates happen at trial granularity: the round hot path never touches
+	// a metric, so the zero-alloc and ns/round gates hold with metrics on.
+	Metrics *PoolMetrics
 }
 
 // Run executes the trials on a worker pool (sim.ForEach) and returns
@@ -405,7 +412,15 @@ func Run(ctx context.Context, trials []Trial, opts Options) ([]Result, error) {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
+			var start time.Time
+			if opts.Metrics != nil {
+				opts.Metrics.started.Inc()
+				start = time.Now()
+			}
 			r, err := RunTrial(trials[i], ws)
+			if opts.Metrics != nil {
+				opts.Metrics.observe(start, r, err)
+			}
 			if err != nil {
 				return err
 			}

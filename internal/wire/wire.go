@@ -360,6 +360,21 @@ type ShardResponse struct {
 // progress. Error and cancellation semantics match sweep.Run: the first
 // error wins and no results are returned.
 func RunSpecs(ctx context.Context, specs []TrialSpec, parallelism int, onResult func(i int, r TrialResult)) ([]TrialResult, error) {
+	return runSpecs(ctx, specs, parallelism, onResult, nil)
+}
+
+// RunSpecsWith returns a RunSpecs-shaped runner whose sweeps additionally
+// record into pm (trials started/completed/failed, rounds and messages
+// totals, per-trial duration histogram). The spreadd service installs one
+// of these as its default runner, which is how a worker daemon's
+// /v1/metrics reports sweep-pool throughput.
+func RunSpecsWith(pm *sweep.PoolMetrics) func(ctx context.Context, specs []TrialSpec, parallelism int, onResult func(i int, r TrialResult)) ([]TrialResult, error) {
+	return func(ctx context.Context, specs []TrialSpec, parallelism int, onResult func(i int, r TrialResult)) ([]TrialResult, error) {
+		return runSpecs(ctx, specs, parallelism, onResult, pm)
+	}
+}
+
+func runSpecs(ctx context.Context, specs []TrialSpec, parallelism int, onResult func(i int, r TrialResult), pm *sweep.PoolMetrics) ([]TrialResult, error) {
 	trials := make([]sweep.Trial, len(specs))
 	for i, s := range specs {
 		if s.Replay {
@@ -373,6 +388,7 @@ func RunSpecs(ctx context.Context, specs []TrialSpec, parallelism int, onResult 
 	out := make([]TrialResult, len(specs))
 	opts := sweep.Options{
 		Parallelism: parallelism,
+		Metrics:     pm,
 		OnResult: func(i int, r sweep.Result) {
 			tr := ResultFromSweep(r)
 			out[i] = tr
@@ -385,4 +401,31 @@ func RunSpecs(ctx context.Context, specs []TrialSpec, parallelism int, onResult 
 		return nil, err
 	}
 	return out, nil
+}
+
+// StreamEvent is one line of a streaming response: the JSONL schema of
+// POST /v1/runs?stream=1 and GET /v1/jobs/{id}/stream. Type discriminates:
+//
+//	"job"      first line: the job's identity and total trial count
+//	"result"   one completed trial (Index into the job's spec list + Result);
+//	           emitted only while the stream is keeping up
+//	"overflow" the consumer fell behind the bounded send buffer; per-trial
+//	           results stop and periodic "summary" lines follow (fetch
+//	           GET /v1/jobs/{id} for the full result set)
+//	"summary"  periodic progress (Completed/Total), in summary mode and as
+//	           a keep-alive between results
+//	"done"     final line: terminal state, counts, and the error if any
+type StreamEvent struct {
+	Type string `json:"type"`
+	// ID is the job ID (set on "job" and "done" events).
+	ID string `json:"id,omitempty"`
+	// Index is the trial's position in the job's spec list ("result" only).
+	Index int `json:"index"`
+	// Result is the completed trial ("result" only).
+	Result *TrialResult `json:"result,omitempty"`
+	// State is the job state ("job" and "done").
+	State     string `json:"state,omitempty"`
+	Completed int    `json:"completed,omitempty"`
+	Total     int    `json:"total,omitempty"`
+	Error     string `json:"error,omitempty"`
 }

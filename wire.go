@@ -41,6 +41,11 @@ type (
 	ShardResponse = wire.ShardResponse
 )
 
+// StreamEvent is one JSONL line of a streaming run (POST /v1/runs?stream=1
+// or GET /v1/jobs/{id}/stream); see wire.StreamEvent for the event types
+// and the backpressure contract.
+type StreamEvent = wire.StreamEvent
+
 // Wire-level shape limits; see the internal/wire definitions for rationale.
 const (
 	// MaxWireN is the largest node count accepted over the wire.
