@@ -7,6 +7,7 @@
 //	spreadctl job    -server http://localhost:8080 -id j000003
 //	spreadctl watch  -server http://localhost:8080 j000003
 //	spreadctl top    -server http://localhost:8080
+//	spreadctl trace  -server http://localhost:8080 j000003
 //	spreadctl sweep  -workers localhost:8081,localhost:8082 \
 //	                 -store ./results -grid grid.json -out results.json
 //	spreadctl catalog -server http://localhost:8080
@@ -64,6 +65,8 @@ func main() {
 		err = cmdWatch(ctx, os.Args[2:])
 	case "top":
 		err = cmdTop(ctx, os.Args[2:])
+	case "trace":
+		err = cmdTrace(ctx, os.Args[2:])
 	case "sweep":
 		err = cmdSweep(ctx, os.Args[2:])
 	case "catalog":
@@ -90,6 +93,8 @@ commands:
   watch    stream a job live over JSONL (-server, -id or positional, [-out])
   top      refreshing one-screen server view from /v1/metrics (-server,
            [-interval d] [-once])
+  trace    render a job's distributed trace as a waterfall (-server,
+           -id or positional job/trace ID)
   sweep    distributed client-side sweep over workers (-workers, -grid,
            [-store dir] [-shard-size n] [-out file])
   catalog  list a server's registered algorithms/adversaries/scenarios (-server)

@@ -21,10 +21,11 @@ import (
 
 // cmdWatch streams one job live (GET /v1/jobs/{id}/stream): per-trial
 // progress to stderr, and — when the job completes — its results to stdout
-// or -out, exactly as `spreadctl job` would print them. If the stream
-// overflowed (the server dropped to summary mode), the full result set is
-// fetched from GET /v1/jobs/{id} instead, so watch's output is identical
-// either way.
+// or -out, exactly as `spreadctl job` would print them. A stream that drops
+// mid-job (worker restart, LB hiccup) is reattached with backoff; if the
+// per-trial events were incomplete for any reason (mid-run attach, overflow
+// to summary mode, a reconnect), the full result set is fetched from
+// GET /v1/jobs/{id} instead, so watch's output is identical either way.
 func cmdWatch(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("watch", flag.ExitOnError)
 	server := fs.String("server", "", "spreadd base URL")
@@ -41,70 +42,112 @@ func cmdWatch(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-
-	var (
-		results   []wire.TrialResult
-		lossless  = true
-		final     *wire.StreamEvent
-		completed int
-		total     int
-	)
-	progress := func(state string) {
+	st, err := followJob(ctx, c, *id, func(state string, completed, total int) {
 		fmt.Fprintf(os.Stderr, "\rjob %s %-8s %d/%d", *id, state, completed, total)
-	}
-	err = c.JobStream(ctx, *id, func(ev wire.StreamEvent) error {
-		switch ev.Type {
-		case "job":
-			total = ev.Total
-			completed = ev.Completed
-			results = make([]wire.TrialResult, total)
-			// Attaching mid-run: indices completed before the stream opened
-			// never arrive as events, so stream results are complete only
-			// from a fresh attach.
-			lossless = ev.Completed == 0
-			progress(ev.State)
-		case "result":
-			if ev.Result != nil && ev.Index >= 0 && ev.Index < len(results) {
-				results[ev.Index] = *ev.Result
-			}
-			completed++
-			progress("running")
-		case "overflow":
-			lossless = false
-			fmt.Fprintf(os.Stderr, "\rjob %s: stream overflowed; falling back to summaries\n", *id)
-		case "summary":
-			completed = ev.Completed
-			total = ev.Total
-			progress("running")
-		case "done":
-			completed = ev.Completed
-			total = ev.Total
-			progress(ev.State)
-			fmt.Fprintln(os.Stderr)
-			e := ev
-			final = &e
-		}
-		return nil
+	}, func(note string) {
+		fmt.Fprintf(os.Stderr, "\rjob %s: %s\n", *id, note)
 	})
+	fmt.Fprintln(os.Stderr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr)
 		return err
 	}
-	if final == nil {
-		return fmt.Errorf("stream for job %s ended without a done event", *id)
+	if st.State != service.JobDone {
+		return fmt.Errorf("job %s %s: %s", *id, st.State, st.Error)
 	}
-	if final.State != string(service.JobDone) {
-		return fmt.Errorf("job %s %s: %s", *id, final.State, final.Error)
+	summarize(st.Results)
+	return writeResults(*out, st.Results)
+}
+
+// followBackoff is followJob's reconnect schedule: attempt i sleeps
+// followBackoff[min(i, len-1)].
+var followBackoff = []time.Duration{200 * time.Millisecond, 500 * time.Millisecond, time.Second, 2 * time.Second}
+
+// followJob follows a job's stream to a terminal state, reattaching with
+// backoff whenever the stream drops mid-job — a worker restart must not
+// kill an operator's watch. progress is called on every stream event;
+// notify (optional) reports overflow and reconnects. Permanent HTTP errors
+// (the job is unknown) and context cancellation end the follow; everything
+// else retries. When the per-trial events were incomplete — mid-run attach,
+// overflow, any reconnect — the returned status carries results fetched
+// from GET /v1/jobs/{id}, so callers always see the full set for done jobs.
+func followJob(ctx context.Context, c *service.Client, id string, progress func(state string, completed, total int), notify func(note string)) (service.JobStatus, error) {
+	if notify == nil {
+		notify = func(string) {}
 	}
-	if !lossless {
-		st, err := c.Job(ctx, *id)
-		if err != nil {
-			return err
+	lossless := true
+	for attempt := 0; ; attempt++ {
+		var (
+			results   []wire.TrialResult
+			final     *wire.StreamEvent
+			completed int
+			total     int
+		)
+		err := c.JobStream(ctx, id, func(ev wire.StreamEvent) error {
+			switch ev.Type {
+			case "job":
+				total = ev.Total
+				completed = ev.Completed
+				results = make([]wire.TrialResult, total)
+				// Attaching mid-run: indices completed before the stream
+				// opened never arrive as events, so stream results are
+				// complete only from a fresh first attach.
+				if ev.Completed != 0 || attempt > 0 {
+					lossless = false
+				}
+				progress(ev.State, completed, total)
+			case "result":
+				if ev.Result != nil && ev.Index >= 0 && ev.Index < len(results) {
+					results[ev.Index] = *ev.Result
+				}
+				completed++
+				progress("running", completed, total)
+			case "overflow":
+				lossless = false
+				notify("stream overflowed; falling back to summaries")
+			case "summary":
+				completed = ev.Completed
+				total = ev.Total
+				progress("running", completed, total)
+			case "done":
+				completed = ev.Completed
+				total = ev.Total
+				progress(ev.State, completed, total)
+				e := ev
+				final = &e
+			}
+			return nil
+		})
+		if final != nil {
+			st := service.JobStatus{
+				ID: id, State: service.JobState(final.State),
+				Completed: final.Completed, Total: final.Total,
+				Error: final.Error, Results: results,
+			}
+			if st.State == service.JobDone && !lossless {
+				fetched, ferr := c.Job(ctx, id)
+				if ferr != nil {
+					return st, ferr
+				}
+				return fetched, nil
+			}
+			return st, nil
 		}
-		results = st.Results
+		// The stream dropped (or ended) without a done event.
+		if err != nil && service.IsPermanent(err) {
+			return service.JobStatus{}, err
+		}
+		if ctx.Err() != nil {
+			return service.JobStatus{}, ctx.Err()
+		}
+		lossless = false
+		backoff := followBackoff[min(attempt, len(followBackoff)-1)]
+		notify(fmt.Sprintf("stream dropped, reconnecting in %s (attempt %d)", backoff, attempt+1))
+		select {
+		case <-ctx.Done():
+			return service.JobStatus{}, ctx.Err()
+		case <-time.After(backoff):
+		}
 	}
-	summarize(results)
-	return writeResults(*out, results)
 }
 
 // cmdTop renders a refreshing one-screen view of a daemon: queue and worker

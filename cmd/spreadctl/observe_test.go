@@ -1,0 +1,100 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dynspread/internal/service"
+	"dynspread/internal/wire"
+)
+
+// TestFollowJobReconnect: a stream that drops mid-job (server closes the
+// response without a done event) is reattached with backoff, the follow
+// completes on the second stream, and — because a reconnect can lose
+// per-trial events — the final results come from GET /v1/jobs/{id}.
+func TestFollowJobReconnect(t *testing.T) {
+	results := []wire.TrialResult{{Rounds: 1}, {Rounds: 2}, {Rounds: 3}}
+	var streams atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs/jx/stream", func(w http.ResponseWriter, r *http.Request) {
+		enc := json.NewEncoder(w)
+		switch streams.Add(1) {
+		case 1:
+			// First attach: fresh job, one result, then the stream dies.
+			enc.Encode(wire.StreamEvent{Type: "job", ID: "jx", State: "running", Total: 3})
+			enc.Encode(wire.StreamEvent{Type: "result", Index: 0, Result: &results[0]})
+		default:
+			// Reattach: the job has progressed; it finishes on this stream.
+			enc.Encode(wire.StreamEvent{Type: "job", ID: "jx", State: "running", Total: 3, Completed: 2})
+			enc.Encode(wire.StreamEvent{Type: "result", Index: 2, Result: &results[2]})
+			enc.Encode(wire.StreamEvent{Type: "done", ID: "jx", State: "done", Completed: 3, Total: 3})
+		}
+	})
+	mux.HandleFunc("GET /v1/jobs/jx", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(service.JobStatus{
+			ID: "jx", State: service.JobDone, Total: 3, Completed: 3, Results: results,
+		})
+	})
+	hs := httptest.NewServer(mux)
+	defer hs.Close()
+
+	saved := followBackoff
+	followBackoff = []time.Duration{time.Millisecond}
+	defer func() { followBackoff = saved }()
+
+	c := &service.Client{BaseURL: hs.URL}
+	var notes []string
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st, err := followJob(ctx, c, "jx",
+		func(string, int, int) {},
+		func(note string) { notes = append(notes, note) })
+	if err != nil {
+		t.Fatalf("followJob: %v", err)
+	}
+	if st.State != service.JobDone || len(st.Results) != 3 {
+		t.Fatalf("final status = %+v", st)
+	}
+	for i, r := range st.Results {
+		if r.Rounds != results[i].Rounds {
+			t.Fatalf("result %d = %+v, want %+v (full set must come from /v1/jobs after a reconnect)", i, r, results[i])
+		}
+	}
+	if got := streams.Load(); got != 2 {
+		t.Fatalf("stream attached %d times, want 2", got)
+	}
+	reconnected := false
+	for _, n := range notes {
+		if strings.Contains(n, "reconnecting") {
+			reconnected = true
+		}
+	}
+	if !reconnected {
+		t.Fatalf("no reconnect notification; notes = %q", notes)
+	}
+}
+
+// TestFollowJobPermanentError: a 404 (unknown job) ends the follow
+// immediately instead of retrying forever.
+func TestFollowJobPermanentError(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs/nope/stream", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprint(w, `{"error":"unknown job"}`)
+	})
+	hs := httptest.NewServer(mux)
+	defer hs.Close()
+
+	c := &service.Client{BaseURL: hs.URL}
+	_, err := followJob(context.Background(), c, "nope", func(string, int, int) {}, nil)
+	if !service.IsPermanent(err) {
+		t.Fatalf("followJob on a 404 returned %v, want a permanent HTTP error", err)
+	}
+}

@@ -1,0 +1,176 @@
+package main
+
+// `spreadctl trace` renders one distributed trace (GET /v1/traces/{id}) as
+// a text waterfall: per-service lanes, span nesting as indentation, a
+// proportional extent bar per span, and point events (retries, worker
+// deaths) as timestamped sub-lines. Against a coordinator the trace already
+// contains the workers' spans, so a single command shows a sharded job end
+// to end: queue wait vs run on the coordinator, one lane per worker.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"dynspread/internal/wire"
+)
+
+func cmdTrace(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	server := fs.String("server", "", "spreadd base URL")
+	id := fs.String("id", "", "job ID or 32-hex trace ID (or pass it as the positional argument)")
+	fs.Parse(args)
+	if *id == "" && fs.NArg() > 0 {
+		*id = fs.Arg(0)
+	}
+	if *id == "" {
+		return fmt.Errorf("trace needs a job or trace ID: spreadctl trace -server URL <job>")
+	}
+	c, err := newClient(*server)
+	if err != nil {
+		return err
+	}
+	tr, err := c.Trace(ctx, *id)
+	if err != nil {
+		return err
+	}
+	renderTrace(os.Stdout, tr)
+	return nil
+}
+
+const traceBarWidth = 30
+
+// renderTrace draws the waterfall. Spans whose parent is absent from the
+// set (evicted from a ring, or recorded by an unreachable worker) are
+// promoted to roots and marked, so partial traces still render.
+func renderTrace(w io.Writer, tr wire.Trace) {
+	spans := tr.Spans
+	if len(spans) == 0 {
+		fmt.Fprintf(w, "trace %s: no spans (expired from the ring, or tracing disabled)\n", tr.TraceID)
+		return
+	}
+	byID := make(map[string]int, len(spans))
+	for i, s := range spans {
+		byID[s.SpanID] = i
+	}
+	children := make(map[string][]int)
+	var roots []int
+	orphan := make(map[int]bool)
+	for i, s := range spans {
+		if s.ParentID != "" {
+			if _, ok := byID[s.ParentID]; ok {
+				children[s.ParentID] = append(children[s.ParentID], i)
+				continue
+			}
+			orphan[i] = true
+		}
+		roots = append(roots, i)
+	}
+	byStart := func(idx []int) {
+		sort.SliceStable(idx, func(a, b int) bool { return spans[idx[a]].Start.Before(spans[idx[b]].Start) })
+	}
+	byStart(roots)
+	for _, c := range children {
+		byStart(c)
+	}
+
+	t0, t1 := spans[0].Start, spans[0].End
+	services := map[string]bool{}
+	svcWidth := len("SERVICE")
+	for _, s := range spans {
+		if s.Start.Before(t0) {
+			t0 = s.Start
+		}
+		if s.End.After(t1) {
+			t1 = s.End
+		}
+		services[s.Service] = true
+		if len(s.Service) > svcWidth {
+			svcWidth = len(s.Service)
+		}
+	}
+	wall := t1.Sub(t0)
+	fmt.Fprintf(w, "trace %s  %d spans  %d services  wall %s\n\n",
+		tr.TraceID, len(spans), len(services), fmtDur(wall))
+	fmt.Fprintf(w, "%-*s  %-34s %9s %9s\n", svcWidth, "SERVICE", "SPAN", "START", "DURATION")
+
+	var walk func(i, depth int)
+	walk = func(i, depth int) {
+		s := spans[i]
+		name := strings.Repeat("  ", depth) + s.Name
+		if orphan[i] {
+			name += " (parent missing)"
+		}
+		tail := ""
+		if v := s.Attrs["error"]; v != "" {
+			tail = "  error=" + v
+		} else if v := s.Attrs["state"]; v != "" && v != "done" {
+			tail = "  state=" + v
+		}
+		fmt.Fprintf(w, "%-*s  %-34s %9s %9s  |%s|%s\n",
+			svcWidth, s.Service, name,
+			fmtDur(s.Start.Sub(t0)), fmtDur(s.Duration()),
+			bar(s.Start.Sub(t0), s.Duration(), wall), tail)
+		for _, ev := range s.Events {
+			fmt.Fprintf(w, "%-*s  %s· %s @%s%s\n",
+				svcWidth, "", strings.Repeat("  ", depth+1), ev.Name,
+				fmtDur(ev.Time.Sub(t0)), fmtAttrs(ev.Attrs))
+		}
+		for _, c := range children[s.SpanID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+}
+
+// bar renders a span's extent proportionally on the trace's wall clock.
+func bar(off, dur, wall time.Duration) string {
+	if wall <= 0 {
+		return strings.Repeat("=", traceBarWidth)
+	}
+	pad := int(int64(traceBarWidth) * int64(off) / int64(wall))
+	n := int(int64(traceBarWidth) * int64(dur) / int64(wall))
+	if n < 1 {
+		n = 1 // every span is visible, however brief
+	}
+	if pad > traceBarWidth-1 {
+		pad = traceBarWidth - 1
+	}
+	if pad+n > traceBarWidth {
+		n = traceBarWidth - pad
+	}
+	return strings.Repeat(" ", pad) + strings.Repeat("=", n) + strings.Repeat(" ", traceBarWidth-pad-n)
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+// fmtAttrs renders event attributes as sorted " k=v" pairs.
+func fmtAttrs(attrs map[string]string) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(" " + k + "=" + attrs[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dynspread/internal/tracing"
+	"dynspread/internal/wire"
+)
+
+// TestRenderTrace: the waterfall nests children under parents, draws one
+// lane label per service, renders events as sub-lines, and promotes spans
+// with a missing parent to annotated roots.
+func TestRenderTrace(t *testing.T) {
+	t0 := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	ms := func(d int) time.Time { return t0.Add(time.Duration(d) * time.Millisecond) }
+	tr := wire.Trace{
+		TraceID: "4bf92f3577b34da6a3ce929d0e0e4736",
+		Spans: []tracing.SpanData{
+			{TraceID: "t", SpanID: "aaaaaaaaaaaaaaaa", Name: "job", Service: "spreadd:8080",
+				Start: ms(0), End: ms(10), Attrs: map[string]string{"state": "done"}},
+			{TraceID: "t", SpanID: "bbbbbbbbbbbbbbbb", ParentID: "aaaaaaaaaaaaaaaa",
+				Name: "queue-wait", Service: "spreadd:8080", Start: ms(0), End: ms(1)},
+			{TraceID: "t", SpanID: "cccccccccccccccc", ParentID: "aaaaaaaaaaaaaaaa",
+				Name: "run", Service: "spreadd:8080", Start: ms(1), End: ms(10),
+				Events: []tracing.EventData{{Time: ms(5), Name: "retry",
+					Attrs: map[string]string{"worker": "http://w1", "attempt": "1"}}}},
+			{TraceID: "t", SpanID: "dddddddddddddddd", ParentID: "cccccccccccccccc",
+				Name: "shard", Service: "spreadd:8080", Start: ms(2), End: ms(9)},
+			{TraceID: "t", SpanID: "eeeeeeeeeeeeeeee", ParentID: "dddddddddddddddd",
+				Name: "job", Service: "spreadd:8081", Start: ms(3), End: ms(8)},
+			{TraceID: "t", SpanID: "ffffffffffffffff", ParentID: "0123456789abcdef",
+				Name: "stray", Service: "spreadd:8082", Start: ms(4), End: ms(5)},
+		},
+	}
+	var b strings.Builder
+	renderTrace(&b, tr)
+	out := b.String()
+
+	for _, want := range []string{
+		"trace 4bf92f3577b34da6a3ce929d0e0e4736  6 spans  3 services",
+		"spreadd:8080  job",
+		"spreadd:8080    queue-wait", // depth 1
+		"spreadd:8080    run",        // depth 1
+		"spreadd:8080      shard",    // depth 2
+		"spreadd:8081        job",    // the worker's lane, depth 3
+		"stray (parent missing)",     // orphan promoted to root
+		"· retry @5.0ms",             // event sub-line with offset
+		"attempt=1 worker=http://w1", // event attrs, sorted
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("waterfall misses %q\n%s", want, out)
+		}
+	}
+}
+
+// TestRenderTraceEmpty: an empty trace explains itself instead of printing
+// a bare header.
+func TestRenderTraceEmpty(t *testing.T) {
+	var b strings.Builder
+	renderTrace(&b, wire.Trace{TraceID: "abc"})
+	if !strings.Contains(b.String(), "no spans") {
+		t.Fatalf("empty trace rendered as %q", b.String())
+	}
+}
+
+// TestBar: extent bars stay exactly traceBarWidth wide and every span is
+// visible, however brief.
+func TestBar(t *testing.T) {
+	for _, tc := range []struct{ off, dur, wall time.Duration }{
+		{0, 10 * time.Millisecond, 10 * time.Millisecond},
+		{9 * time.Millisecond, time.Microsecond, 10 * time.Millisecond},
+		{10 * time.Millisecond, 0, 10 * time.Millisecond}, // off == wall
+		{0, 0, 0}, // degenerate instantaneous trace
+	} {
+		got := bar(tc.off, tc.dur, tc.wall)
+		if len(got) != traceBarWidth {
+			t.Errorf("bar(%v,%v,%v) width %d, want %d", tc.off, tc.dur, tc.wall, len(got), traceBarWidth)
+		}
+		if !strings.Contains(got, "=") {
+			t.Errorf("bar(%v,%v,%v) = %q has no extent", tc.off, tc.dur, tc.wall, got)
+		}
+	}
+}

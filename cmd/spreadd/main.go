@@ -43,6 +43,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -54,6 +55,7 @@ import (
 	"dynspread/internal/obs"
 	"dynspread/internal/service"
 	"dynspread/internal/store"
+	"dynspread/internal/tracing"
 )
 
 func main() {
@@ -69,12 +71,38 @@ func main() {
 		storeDir     = flag.String("store", "", "persistent result-store directory (coordinator mode): stored trials are served from disk, new results appended")
 		shardSize    = flag.Int("shard-size", 0, "trials per shard in coordinator mode (0 = default)")
 		pprofOn      = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default; see docs for the profiling recipe)")
+		traceRing    = flag.Int("trace-ring", 4096, "finished spans kept in memory for GET /v1/traces (0 disables tracing)")
+		traceLog     = flag.String("trace-log", "", "append every finished span as a JSON line to this file")
+		logFormat    = flag.String("log-format", "text", "structured log format: text or json")
+		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	)
 	flag.Parse()
 
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		log.Fatalf("spreadd: %v", err)
+	}
+
 	// One registry merges every layer's metrics — service, sweep pool or
-	// cluster coordinator, result store — onto GET /v1/metrics.
+	// cluster coordinator, result store, tracer — onto GET /v1/metrics.
 	reg := obs.NewRegistry()
+
+	// One tracer per process: service, sweep pool, and cluster layers all
+	// record into the same ring, which is what GET /v1/traces serves.
+	var tracer *tracing.Tracer
+	if *traceRing > 0 {
+		tcfg := tracing.Config{Service: "spreadd@" + *addr, RingSize: *traceRing, Registry: reg}
+		if *traceLog != "" {
+			f, err := os.OpenFile(*traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				log.Fatalf("spreadd: open -trace-log: %v", err)
+			}
+			defer f.Close()
+			tcfg.Output = f
+		}
+		tracer = tracing.New(tcfg)
+	}
+
 	cfg := service.Config{
 		Parallelism:    *parallelism,
 		QueueDepth:     *queueDepth,
@@ -82,12 +110,14 @@ func main() {
 		CacheSize:      *cacheSize,
 		SyncTrialLimit: *syncLimit,
 		Registry:       reg,
+		Tracer:         tracer,
+		Logger:         logger,
 	}
 
 	mode := "worker"
 	if *peers != "" {
 		workers := service.SplitBaseURLs(*peers)
-		ccfg := cluster.Config{Workers: workers, ShardSize: *shardSize, Metrics: reg}
+		ccfg := cluster.Config{Workers: workers, ShardSize: *shardSize, Metrics: reg, Tracer: tracer, Logger: logger}
 		if *storeDir != "" {
 			st, err := store.Open(*storeDir)
 			if err != nil {
@@ -102,6 +132,9 @@ func main() {
 			log.Fatalf("spreadd: %v", err)
 		}
 		cfg.Runner = coord.RunSpecs
+		// The coordinator's trace endpoint assembles the distributed trace:
+		// local spans plus every worker's, fetched on demand.
+		cfg.TraceFetch = coord.FetchSpans
 		mode = fmt.Sprintf("coordinator over %d workers %v", len(workers), workers)
 		if *storeDir != "" {
 			mode += " (store " + *storeDir + ")"
@@ -124,7 +157,7 @@ func main() {
 		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		root.Handle("/", handler)
 		handler = root
-		log.Printf("spreadd: pprof enabled on /debug/pprof/")
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
 	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -137,8 +170,9 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("spreadd: serving on %s as %s (queue %d, %d job workers, cache %d)",
-		*addr, mode, *queueDepth, *jobWorkers, *cacheSize)
+	logger.Info("serving", "addr", *addr, "mode", mode,
+		"queue", *queueDepth, "job_workers", *jobWorkers, "cache", *cacheSize,
+		"tracing", tracer != nil)
 
 	select {
 	case err := <-errc:
@@ -146,19 +180,40 @@ func main() {
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("spreadd: shutting down, draining for up to %s", *drainTimeout)
+	logger.Info("shutting down", "drain_timeout", drainTimeout.String())
 
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
-		log.Printf("spreadd: http shutdown: %v", err)
+		logger.Warn("http shutdown", "error", err.Error())
 	}
 	if err := svc.Shutdown(drainCtx); err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
-			log.Printf("spreadd: drain timed out, in-flight jobs cancelled")
+			logger.Warn("drain timed out, in-flight jobs cancelled")
 		} else {
-			log.Printf("spreadd: drain: %v", err)
+			logger.Warn("drain", "error", err.Error())
 		}
 	}
 	fmt.Println("spreadd: bye")
+}
+
+// buildLogger constructs the daemon's structured logger: text (the default,
+// human-first) or json (one object per line, machine-first), gated at the
+// given minimum level. Every layer below shares this logger, so job and
+// dispatch lines carry the same trace_id/span_id fields the trace endpoint
+// serves.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
 }

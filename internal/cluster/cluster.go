@@ -24,7 +24,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,6 +35,7 @@ import (
 	"dynspread/internal/service"
 	"dynspread/internal/stats"
 	"dynspread/internal/store"
+	"dynspread/internal/tracing"
 	"dynspread/internal/wire"
 )
 
@@ -70,6 +73,16 @@ type Config struct {
 	// labeled by worker base URL). A coordinator-mode spreadd passes the
 	// same registry its service layer exposes on GET /v1/metrics.
 	Metrics *obs.Registry
+	// Tracer, when non-nil, records a "cluster.run" span per Run with one
+	// "shard" child per dispatch attempt; retries and worker deaths become
+	// events on the run span. Dispatches inherit the span context, so the
+	// service.Client hop propagates it to workers (traceparent header) and
+	// their job spans join the same trace.
+	Tracer *tracing.Tracer
+	// Logger receives structured dispatch-lifecycle logs (run started/done,
+	// shard retries, worker deaths) carrying trace_id/span_id fields. Nil
+	// discards.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +100,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Poll <= 0 {
 		c.Poll = 25 * time.Millisecond
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
 	}
 	return c
 }
@@ -242,6 +258,21 @@ func (c *Coordinator) Run(ctx context.Context, specs []wire.TrialSpec, onResult 
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// The run span parents on whatever the caller carries (a coordinator-mode
+	// spreadd's job/run spans) and is in turn the parent every shard dispatch
+	// inherits; returning through finish stamps the outcome exactly once.
+	ctx, runSpan := c.cfg.Tracer.Start(ctx, "cluster.run")
+	runSpan.SetAttrInt("trials", int64(len(specs)))
+	lg := c.cfg.Logger.With(tracing.LogAttrs(ctx)...)
+	finish := func(results []wire.TrialResult, err error) ([]wire.TrialResult, error) {
+		runSpan.EndErr(err)
+		if err != nil {
+			lg.Error("cluster run failed", "trials", len(specs), "error", err.Error())
+		} else {
+			lg.Info("cluster run done", "trials", len(specs))
+		}
+		return results, err
+	}
 	c.stats.trials.Add(int64(len(specs)))
 	results := make([]wire.TrialResult, len(specs))
 	// indexByKey maps each unique content address to every input index
@@ -255,10 +286,10 @@ func (c *Coordinator) Run(ctx context.Context, specs []wire.TrialSpec, onResult 
 	var missing []keyedSpec
 	for i, s := range specs {
 		if s.Replay {
-			return nil, fmt.Errorf("cluster: spec %d replays a recorded trace, which is not part of the wire schema", i)
+			return finish(nil, fmt.Errorf("cluster: spec %d replays a recorded trace, which is not part of the wire schema", i))
 		}
 		if err := s.Validate(); err != nil {
-			return nil, fmt.Errorf("%w (spec %d)", err, i)
+			return finish(nil, fmt.Errorf("%w (spec %d)", err, i))
 		}
 		s = s.Normalized()
 		k := wire.Key(s)
@@ -287,9 +318,12 @@ func (c *Coordinator) Run(ctx context.Context, specs []wire.TrialSpec, onResult 
 	}
 
 	plan := planKeyed(missing, c.cfg.ShardSize)
+	runSpan.SetAttrInt("store_hits", int64(len(hits)))
+	runSpan.SetAttrInt("shards", int64(len(plan)))
 	if len(plan) == 0 {
-		return results, nil
+		return finish(results, nil)
 	}
+	lg.Info("cluster run started", "trials", len(specs), "shards", len(plan), "store_hits", len(hits))
 	c.stats.shards.Add(int64(len(plan)))
 	if err := c.dispatch(ctx, plan, func(key string, res wire.TrialResult) error {
 		if c.cfg.Store != nil {
@@ -305,9 +339,9 @@ func (c *Coordinator) Run(ctx context.Context, specs []wire.TrialSpec, onResult 
 		}
 		return nil
 	}); err != nil {
-		return nil, err
+		return finish(nil, err)
 	}
-	return results, nil
+	return finish(results, nil)
 }
 
 // shardAttempt pairs a planned shard with how many times it has been
@@ -323,6 +357,10 @@ type shardAttempt struct {
 func (c *Coordinator) dispatch(ctx context.Context, plan []wire.ShardRequest, deliver func(key string, res wire.TrialResult) error) error {
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	// Retries and worker deaths are moments, not extents: events on the run
+	// span (carried by ctx), next to structured warnings with the same IDs.
+	runSpan := tracing.SpanFromContext(ctx)
+	lg := c.cfg.Logger.With(tracing.LogAttrs(ctx)...)
 	// A worker marked dead in an earlier Run gets one probation shard per
 	// dispatch: a long-lived coordinator (spreadd -peers) must pick a
 	// restarted worker back up, and the alive accounting below assumes
@@ -380,6 +418,14 @@ func (c *Coordinator) dispatch(ctx context.Context, plan []wire.ShardRequest, de
 						sa.attempt++
 						c.stats.retries.Add(1)
 						c.metrics.retried(w)
+						runSpan.Event("retry",
+							"worker", c.cfg.Workers[w],
+							"shard", strconv.Itoa(sa.shard.Shard),
+							"attempt", strconv.Itoa(sa.attempt),
+							"error", err.Error())
+						lg.Warn("shard dispatch failed, retrying",
+							"worker", c.cfg.Workers[w], "shard", sa.shard.Shard,
+							"attempt", sa.attempt, "error", err.Error())
 						if sa.attempt >= c.cfg.MaxShardAttempts {
 							fail(fmt.Errorf("cluster: shard %d/%d failed %d times, giving up: %w", sa.shard.Shard, sa.shard.Shards, sa.attempt, err))
 							return
@@ -391,6 +437,8 @@ func (c *Coordinator) dispatch(ctx context.Context, plan []wire.ShardRequest, de
 						backoff := c.cfg.Backoff[min(sa.attempt-1, len(c.cfg.Backoff)-1)]
 						time.AfterFunc(backoff, func() { work <- sa })
 						if c.recordFailure(w) {
+							runSpan.Event("worker_dead", "worker", c.cfg.Workers[w])
+							lg.Warn("worker marked dead", "worker", c.cfg.Workers[w])
 							// This worker is dead; the re-enqueued shard goes
 							// to a survivor — unless there are none.
 							if alive.Add(-1) == 0 {
@@ -422,7 +470,17 @@ func (c *Coordinator) dispatch(ctx context.Context, plan []wire.ShardRequest, de
 
 // runShard executes one shard on worker w: an async submit, a poll to
 // terminal state, and delivery of every per-trial result.
-func (c *Coordinator) runShard(ctx context.Context, w int, sh wire.ShardRequest, deliver func(key string, res wire.TrialResult) error) error {
+func (c *Coordinator) runShard(ctx context.Context, w int, sh wire.ShardRequest, deliver func(key string, res wire.TrialResult) error) (err error) {
+	// One span per dispatch ATTEMPT (a retried shard has several), dispatched
+	// under its context: service.Client stamps it onto the request as a
+	// traceparent header, so the worker's job spans become its children.
+	ctx, span := c.cfg.Tracer.Start(ctx, "shard")
+	if span != nil {
+		span.SetAttr("worker", c.cfg.Workers[w])
+		span.SetAttrInt("shard", int64(sh.Shard))
+		span.SetAttrInt("trials", int64(len(sh.Trials)))
+		defer func() { span.EndErr(err) }()
+	}
 	client := c.clients[w]
 	req := sh.RunRequest()
 	// Async keeps every HTTP request short (submit + cheap polls), so
@@ -458,6 +516,35 @@ func (c *Coordinator) runShard(ctx context.Context, w int, sh wire.ShardRequest,
 		}
 	}
 	return nil
+}
+
+// FetchSpans collects the spans of one trace from every worker's
+// GET /v1/traces/{id}, concurrently and best-effort: a worker that is down,
+// has tracing disabled, or has evicted the trace just contributes nothing.
+// A coordinator-mode spreadd installs this as service.Config.TraceFetch,
+// which is what makes the coordinator's trace endpoint return the whole
+// distributed trace in one response.
+func (c *Coordinator) FetchSpans(ctx context.Context, traceID string) []tracing.SpanData {
+	var (
+		wg  sync.WaitGroup
+		mu  sync.Mutex
+		out []tracing.SpanData
+	)
+	for _, client := range c.clients {
+		wg.Add(1)
+		go func(client *service.Client) {
+			defer wg.Done()
+			tr, err := client.Trace(ctx, traceID)
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			out = append(out, tr.Spans...)
+			mu.Unlock()
+		}(client)
+	}
+	wg.Wait()
+	return out
 }
 
 // deliveryError marks a coordinator-local failure (persisting or merging a

@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dynspread/internal/service"
+	"dynspread/internal/tracing"
+	"dynspread/internal/wire"
+)
+
+// TestDistributedTraceConnected is the tracing e2e: a coordinator-mode
+// daemon over two traced workers runs a sharded job, and GET /v1/traces on
+// the coordinator returns ONE connected trace — a single trace ID, a single
+// root span, every other span's parent present in the set — with the
+// coordinator's job/queue-wait/run/cluster.run/shard spans above the
+// workers' job and trial spans.
+func TestDistributedTraceConnected(t *testing.T) {
+	tracedWorker := func(name string) *httptest.Server {
+		tr := tracing.New(tracing.Config{Service: name})
+		srv := service.New(service.Config{JobWorkers: 2, Tracer: tr})
+		hs := httptest.NewServer(srv.Handler())
+		t.Cleanup(func() {
+			hs.Close()
+			srv.Shutdown(context.Background())
+		})
+		return hs
+	}
+	w1 := tracedWorker("worker-1")
+	w2 := tracedWorker("worker-2")
+
+	coordTracer := tracing.New(tracing.Config{Service: "coordinator"})
+	coord, err := New(Config{
+		Workers:   []string{w1.URL, w2.URL},
+		ShardSize: 6, // 24 trials -> 4 shards over 2 workers
+		Backoff:   testBackoff(),
+		Tracer:    coordTracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := service.New(service.Config{
+		JobWorkers: 2,
+		Runner:     coord.RunSpecs,
+		Tracer:     coordTracer,
+		TraceFetch: coord.FetchSpans,
+	})
+	fs := httptest.NewServer(front.Handler())
+	t.Cleanup(func() {
+		fs.Close()
+		front.Shutdown(context.Background())
+	})
+
+	c := &service.Client{BaseURL: fs.URL, Timeout: time.Minute}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	st, err := c.Run(ctx, wire.RunRequest{Grid: &testGrid, Async: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err = c.WaitJob(ctx, st.ID, 0); err != nil || st.State != service.JobDone {
+		t.Fatalf("job ended %q (err %v): %s", st.State, err, st.Error)
+	}
+
+	tr, err := c.Trace(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]tracing.SpanData{}
+	byName := map[string][]tracing.SpanData{}
+	services := map[string]bool{}
+	var roots []tracing.SpanData
+	for _, s := range tr.Spans {
+		if s.TraceID != tr.TraceID {
+			t.Fatalf("span %s/%s carries trace %s, want %s", s.Service, s.Name, s.TraceID, tr.TraceID)
+		}
+		byID[s.SpanID] = s
+		byName[s.Name] = append(byName[s.Name], s)
+		services[s.Service] = true
+		if s.ParentID == "" {
+			roots = append(roots, s)
+		}
+	}
+
+	// Connectedness: one root, and every non-root's parent is in the set.
+	if len(roots) != 1 || roots[0].Name != "job" || roots[0].Service != "coordinator" {
+		t.Fatalf("roots = %+v, want exactly the coordinator's job span", roots)
+	}
+	for _, s := range tr.Spans {
+		if s.ParentID != "" {
+			if _, ok := byID[s.ParentID]; !ok {
+				t.Fatalf("span %s/%s has parent %s outside the trace", s.Service, s.Name, s.ParentID)
+			}
+		}
+	}
+
+	// The coordinator's phase spans exist and nest correctly.
+	if n := len(byName["cluster.run"]); n != 1 {
+		t.Fatalf("%d cluster.run spans, want 1", n)
+	}
+	if n := len(byName["shard"]); n != 4 {
+		t.Fatalf("%d shard spans, want 4", n)
+	}
+	for _, sh := range byName["shard"] {
+		if byID[sh.ParentID].Name != "cluster.run" {
+			t.Fatalf("shard span parented on %q", byID[sh.ParentID].Name)
+		}
+	}
+
+	// Worker spans joined the coordinator's trace across the HTTP hop:
+	// their job spans parent on shard spans, their trial spans on their
+	// run spans, and 24 trials ran in total.
+	workerJobs, trials := 0, 0
+	for _, s := range byName["job"] {
+		if s.Service == "coordinator" {
+			continue
+		}
+		workerJobs++
+		if byID[s.ParentID].Name != "shard" {
+			t.Fatalf("worker job span parented on %q, want shard", byID[s.ParentID].Name)
+		}
+	}
+	if workerJobs != 4 {
+		t.Fatalf("%d worker job spans, want 4 (one per shard)", workerJobs)
+	}
+	for _, s := range byName["trial"] {
+		trials++
+		p := byID[s.ParentID]
+		if p.Name != "run" || p.Service == "coordinator" {
+			t.Fatalf("trial span parented on %s/%s, want a worker run span", p.Service, p.Name)
+		}
+	}
+	if trials != 24 {
+		t.Fatalf("%d trial spans, want 24", trials)
+	}
+	if !services["coordinator"] || (!services["worker-1"] && !services["worker-2"]) {
+		t.Fatalf("services in trace: %v", services)
+	}
+}
+
+// TestTraceparentHeaderJoins: a request that arrives with a W3C traceparent
+// header gets its job parented on the remote caller's span — the
+// cross-process join is the header, nothing else.
+func TestTraceparentHeaderJoins(t *testing.T) {
+	tr := tracing.New(tracing.Config{Service: "w"})
+	srv := service.New(service.Config{JobWorkers: 1, Tracer: tr})
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Shutdown(context.Background())
+	})
+
+	remote := tracing.New(tracing.Config{Service: "caller"})
+	ctx, parent := remote.Start(context.Background(), "parent")
+	c := &service.Client{BaseURL: hs.URL, Timeout: time.Minute}
+	specs := testSpecs(t)[:2]
+	st, err := c.Run(ctx, wire.RunRequest{Trials: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent.End()
+
+	got, err := c.Trace(context.Background(), st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTrace := parent.Context().Trace.String()
+	if got.TraceID != wantTrace {
+		t.Fatalf("job trace %s, want the caller's %s", got.TraceID, wantTrace)
+	}
+	for _, s := range got.Spans {
+		if s.Name == "job" && s.ParentID != parent.Context().Span.String() {
+			t.Fatalf("job span parented on %q, want the remote caller's span %s", s.ParentID, parent.Context().Span)
+		}
+	}
+}

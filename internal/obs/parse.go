@@ -304,6 +304,17 @@ func parseValue(s string) (float64, error) {
 	case "NaN":
 		return math.NaN(), nil
 	}
+	// strconv accepts spellings the exposition format does not — "nan",
+	// "inf" in any casing, hex floats, digit underscores. Only a plain
+	// decimal (with optional exponent) may reach ParseFloat.
+	for _, c := range s {
+		switch {
+		case c >= '0' && c <= '9':
+		case c == '.' || c == '+' || c == '-' || c == 'e' || c == 'E':
+		default:
+			return 0, fmt.Errorf("malformed value %q", s)
+		}
+	}
 	v, err := strconv.ParseFloat(s, 64)
 	if err != nil {
 		return 0, fmt.Errorf("malformed value %q", s)

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseText: the strict parser must never panic — every input either
+// parses or comes back as an error. When an input does parse, the invariants
+// the parser promises must actually hold: valid family names, samples that
+// belong to their family, no duplicate series within a family.
+//
+// Run with `go test -fuzz=FuzzParseText ./internal/obs` to explore; the
+// seed corpus alone (run on every plain `go test`) covers the writer's own
+// output plus the known malformations.
+func FuzzParseText(f *testing.F) {
+	// The writer's own output is the most important valid seed.
+	reg := NewRegistry()
+	reg.Counter("seed_total", "Seed counter.").Add(3)
+	reg.GaugeVec("seed_gauge", "Seed gauge.", "worker").With("w\"1\\x\n").Set(-2)
+	reg.Histogram("seed_seconds", "Seed histogram.", []float64{0.1, 1}).Observe(0.2)
+	var buf bytes.Buffer
+	if _, err := reg.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("# HELP x h\n# TYPE x gauge\nx NaN\n")
+	f.Add("# HELP x h\n# TYPE x gauge\nx +Inf\n")
+	f.Add("# HELP x h\n# TYPE x counter\nx{a=\"\\\\\\\"\\n\"} 1\n")
+	f.Add("# HELP x h\n# TYPE x histogram\nx_bucket{le=\"+Inf\"} 1\nx_sum 1\nx_count 1\n")
+	f.Add("# HELP x h\n# TYPE x gauge\nx{a=\"\\q\"} 2\n") // bad escape
+	f.Add("# HELP x h\n# HELP x h\n")                     // duplicate name
+	f.Add("x 1\n# TYPE x counter\n")
+	f.Add("#\n##\n# \n")
+	f.Fuzz(func(t *testing.T, text string) {
+		fams, err := ParseText(strings.NewReader(text))
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("error with empty message")
+			}
+			return
+		}
+		series := map[string]bool{}
+		for i := range fams {
+			fam := &fams[i]
+			if !validName(fam.Name) {
+				t.Fatalf("accepted family with invalid name %q", fam.Name)
+			}
+			for _, s := range fam.Samples {
+				if !sampleBelongs(fam, s.Name) {
+					t.Fatalf("accepted sample %q inside family %q", s.Name, fam.Name)
+				}
+				key := seriesKey(s)
+				if series[key] {
+					t.Fatalf("accepted duplicate series %q", key)
+				}
+				series[key] = true
+			}
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -41,6 +42,63 @@ func TestParseStrictness(t *testing.T) {
 			`x_bucket{le="+Inf"} 9` + "\nx_sum 1\nx_count 3"},
 		{"histogram missing sum", `# HELP x h` + "\n# TYPE x histogram\n" +
 			`x_bucket{le="+Inf"} 1` + "\nx_count 1"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseText(strings.NewReader(tc.text)); err == nil {
+				t.Fatalf("accepted:\n%s", tc.text)
+			}
+		})
+	}
+}
+
+// TestParseSpecialValues: NaN and ±Inf are the three spelled literals of
+// the exposition format — exactly those parse (to the right float), and
+// every case/sign variation is rejected, never guessed at.
+func TestParseSpecialValues(t *testing.T) {
+	gauge := func(v string) string { return "# HELP x h\n# TYPE x gauge\nx " + v }
+	for _, tc := range []struct {
+		lit   string
+		check func(float64) bool
+	}{
+		{"NaN", math.IsNaN},
+		{"+Inf", func(v float64) bool { return math.IsInf(v, 1) }},
+		{"-Inf", func(v float64) bool { return math.IsInf(v, -1) }},
+	} {
+		fams, err := ParseText(strings.NewReader(gauge(tc.lit)))
+		if err != nil {
+			t.Fatalf("ParseText(x %s): %v", tc.lit, err)
+		}
+		if v, ok := fams[0].Value(nil); !ok || !tc.check(v) {
+			t.Errorf("x %s parsed to %v", tc.lit, v)
+		}
+	}
+	for _, bad := range []string{"nan", "NAN", "Inf", "inf", "+inf", "-inf", "++Inf", "+-Inf", "NaN2", "0x1p3"} {
+		if _, err := ParseText(strings.NewReader(gauge(bad))); err == nil {
+			t.Errorf("value %q accepted", bad)
+		}
+	}
+}
+
+// TestParseMoreMalformed: further malformations beyond TestParseStrictness —
+// each must come back as an error, never a panic or a silent fixup.
+func TestParseMoreMalformed(t *testing.T) {
+	bad := []struct {
+		name, text string
+	}{
+		{"duplicate family name across families", "# HELP x h\n# TYPE x counter\nx 1\n# HELP y h\n# TYPE y gauge\ny 1\n# HELP x h\n# TYPE x counter"},
+		{"TYPE for a different family than HELP", "# HELP x h\n# TYPE y counter\ny 1"},
+		{"comment with unknown keyword", "# NOTE x something"},
+		{"bare hash", "#"},
+		{"help-only hash line", "# HELP"},
+		{"escape at end of label value", `# HELP x h` + "\n# TYPE x gauge\n" + `x{a="v\` + `"} 1`},
+		{"label missing equals", `# HELP x h` + "\n# TYPE x gauge\n" + `x{a} 1`},
+		{"label set never closed", `# HELP x h` + "\n# TYPE x gauge\n" + `x{a="1",`},
+		{"empty label name", `# HELP x h` + "\n# TYPE x gauge\n" + `x{="1"} 2`},
+		{"empty value", "# HELP x h\n# TYPE x gauge\nx "},
+		{"underscored value", "# HELP x h\n# TYPE x gauge\nx 1_000"},
+		{"histogram bucket le unparsable", "# HELP x h\n# TYPE x histogram\n" + `x_bucket{le="wide"} 1` + "\nx_sum 1\nx_count 1"},
+		{"summary with bare sample", "# HELP x h\n# TYPE x summary\nx 1"},
 	}
 	for _, tc := range bad {
 		t.Run(tc.name, func(t *testing.T) {

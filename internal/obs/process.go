@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// processStart is captured at package init — close enough to process start
+// for the standard process_start_time_seconds contract (scrapers use it to
+// detect restarts and compute uptime).
+var processStart = time.Now()
+
+// Has reports whether a metric family with the given name is registered.
+func (r *Registry) Has(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.byName[name]
+	return ok
+}
+
+// RegisterProcess registers the standard process/build-info families:
+//
+//	process_start_time_seconds        gauge  (unix time of process start)
+//	go_info{version="go1.x.y"}        gauge  (constant 1; the build's Go version)
+//	dynspread_uptime_seconds          gauge  (seconds since process start,
+//	                                          sampled at scrape)
+//
+// Idempotent per registry, because independent subsystems (two servers
+// sharing one registry, a tracer plus a service) may each want them
+// present without coordinating.
+func RegisterProcess(r *Registry) {
+	if r == nil || r.Has("process_start_time_seconds") {
+		return
+	}
+	r.GaugeFunc("process_start_time_seconds",
+		"Start time of the process since unix epoch in seconds.",
+		func() float64 { return float64(processStart.UnixNano()) / 1e9 })
+	r.GaugeVec("go_info", "Information about the Go environment.", "version").
+		With(runtime.Version()).Set(1)
+	r.GaugeFunc("dynspread_uptime_seconds",
+		"Seconds since process start, sampled at scrape time.",
+		func() float64 { return time.Since(processStart).Seconds() })
+}

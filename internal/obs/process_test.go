@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestRegisterProcess: the standard process families expose plausible
+// values, and registering twice on one registry is a no-op, not a panic —
+// two subsystems sharing a registry may both ask for them.
+func TestRegisterProcess(t *testing.T) {
+	reg := NewRegistry()
+	RegisterProcess(reg)
+	RegisterProcess(reg) // idempotent
+	RegisterProcess(nil) // nil-safe
+
+	var buf bytes.Buffer
+	if _, err := reg.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	start := Find(fams, "process_start_time_seconds")
+	if start == nil {
+		t.Fatal("process_start_time_seconds not exposed")
+	}
+	v, ok := start.Value(nil)
+	now := float64(time.Now().Unix())
+	if !ok || v <= 0 || v > now+1 {
+		t.Fatalf("process_start_time_seconds = %v (now %v)", v, now)
+	}
+
+	info := Find(fams, "go_info")
+	if info == nil {
+		t.Fatal("go_info not exposed")
+	}
+	if v, ok := info.Value(map[string]string{"version": runtime.Version()}); !ok || v != 1 {
+		t.Fatalf("go_info{version=%q} = %v, %v; want 1", runtime.Version(), v, ok)
+	}
+
+	up := Find(fams, "dynspread_uptime_seconds")
+	if up == nil {
+		t.Fatal("dynspread_uptime_seconds not exposed")
+	}
+	if v, ok := up.Value(nil); !ok || v < 0 {
+		t.Fatalf("dynspread_uptime_seconds = %v", v)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"dynspread/internal/tracing"
 	"dynspread/internal/wire"
 )
 
@@ -86,6 +87,16 @@ func SplitBaseURLs(list string) []string {
 	return out
 }
 
+// injectTrace stamps the active span context (if any) onto req as a
+// traceparent header — the other half of the server's header extraction,
+// and the whole of cross-process propagation: a coordinator that dispatches
+// under its span context makes the worker's job spans children of its own.
+func injectTrace(ctx context.Context, req *http.Request) {
+	if sc, ok := tracing.FromContext(ctx); ok && sc.IsValid() {
+		req.Header.Set(wire.HeaderTraceparent, sc.Traceparent())
+	}
+}
+
 func (c *Client) httpClient() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
@@ -117,6 +128,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) (in
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	injectTrace(ctx, req)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		// Surface the context's own error for cancellations/deadlines so
@@ -227,6 +239,7 @@ func (c *Client) doStream(ctx context.Context, method, path string, body any, on
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	injectTrace(ctx, req)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
@@ -288,6 +301,15 @@ func (c *Client) Metrics(ctx context.Context) ([]byte, error) {
 		return nil, &HTTPError{StatusCode: resp.StatusCode, Method: http.MethodGet, Path: "/v1/metrics"}
 	}
 	return io.ReadAll(resp.Body)
+}
+
+// Trace fetches GET /v1/traces/{id}: the span set of one trace, id being a
+// job ID or a 32-hex trace ID. Against a coordinator this is the fully
+// assembled distributed trace (coordinator + worker spans).
+func (c *Client) Trace(ctx context.Context, id string) (wire.Trace, error) {
+	var tr wire.Trace
+	_, err := c.do(ctx, http.MethodGet, "/v1/traces/"+id, nil, &tr)
+	return tr, err
 }
 
 // Catalog fetches the registered algorithms, adversaries, and scenarios.

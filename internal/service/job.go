@@ -1,10 +1,12 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"dynspread/internal/tracing"
 	"dynspread/internal/wire"
 )
 
@@ -42,6 +44,16 @@ type job struct {
 	id    string
 	seq   int // submission order; the sort key of GET /v1/jobs
 	specs []wire.TrialSpec
+
+	// Trace identity, written once in submit before the job is published
+	// (so no lock): the root "job" span, its "queue-wait" child, the context
+	// carrying the root span (for child spans and LogAttrs), and the trace
+	// ID string /v1/traces resolves job IDs through. All nil/empty on an
+	// untraced server; every use is nil-safe.
+	span      *tracing.Span
+	queueSpan *tracing.Span
+	tctx      context.Context
+	traceID   string
 
 	completed              atomic.Int64
 	cacheHits, cacheMisses atomic.Int64
@@ -177,6 +189,26 @@ func (j *job) Status() JobStatus {
 		st.Results = j.results
 	}
 	return st
+}
+
+// closeTrace ends the job's spans with its terminal state. Called from
+// retire (the single terminal point for run, canceled, and dropped jobs);
+// Span.End is idempotent, so a queue-wait span already ended by runJob and
+// a double retire are both harmless.
+func (j *job) closeTrace() {
+	j.queueSpan.End()
+	if j.span == nil {
+		return
+	}
+	st := j.Status()
+	j.span.SetAttr("state", string(st.State))
+	j.span.SetAttrInt("completed", int64(st.Completed))
+	j.span.SetAttrInt("cache_hits", int64(st.CacheHits))
+	j.span.SetAttrInt("cache_misses", int64(st.CacheMisses))
+	if st.Error != "" {
+		j.span.SetAttr("error", st.Error)
+	}
+	j.span.End()
 }
 
 // errValue returns the job's terminal error, if any.

@@ -36,6 +36,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"sync"
@@ -46,6 +47,7 @@ import (
 	"dynspread/internal/registry"
 	"dynspread/internal/scenario"
 	"dynspread/internal/sweep"
+	"dynspread/internal/tracing"
 	"dynspread/internal/wire"
 )
 
@@ -90,6 +92,23 @@ type Config struct {
 	// StreamSummaryInterval is the cadence of "summary" keep-alive/progress
 	// lines on result streams (default 1s).
 	StreamSummaryInterval time.Duration
+	// Tracer, when non-nil, records a span tree per job — root "job" span
+	// with "queue-wait" and "run" children, trial spans underneath (from the
+	// sweep layer), all exposed on GET /v1/traces/{id}. Requests arriving
+	// with a traceparent header join the caller's trace, which is how a
+	// coordinator's dispatch spans parent this daemon's job spans. Nil
+	// disables tracing; every call site degrades to a no-op.
+	Tracer *tracing.Tracer
+	// TraceFetch, when non-nil, contributes spans recorded by OTHER
+	// processes to GET /v1/traces/{id} — a coordinator-mode spreadd installs
+	// a fetcher that queries each worker's trace endpoint, so one GET
+	// assembles the whole distributed trace. Best-effort: fetch failures
+	// just mean fewer spans.
+	TraceFetch func(ctx context.Context, traceID string) []tracing.SpanData
+	// Logger receives structured job-lifecycle logs (submitted/done/failed),
+	// each carrying job, trace_id, and span_id fields so log lines correlate
+	// with spans and metrics. Nil discards.
+	Logger *slog.Logger
 }
 
 // Runner is the execution backend of a server: wire.RunSpecs's signature.
@@ -116,6 +135,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StreamSummaryInterval <= 0 {
 		c.StreamSummaryInterval = time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
 	}
 	return c
 }
@@ -167,13 +189,14 @@ func New(cfg Config) *Server {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	obs.RegisterProcess(reg)
 	runner := cfg.Runner
 	if runner == nil {
 		// Only the in-process runner registers sweep-pool metrics: an
 		// injected runner (coordinator mode, tests) reports through its own
 		// instruments, and registering unused families here would make
 		// /v1/metrics lie about a pool that never runs.
-		runner = wire.RunSpecsWith(sweep.NewPoolMetrics(reg))
+		runner = wire.RunSpecsWith(sweep.NewPoolMetrics(reg), cfg.Tracer)
 	}
 	s := &Server{
 		cfg:     cfg,
@@ -217,7 +240,16 @@ func (s *Server) worker() {
 // the cache).
 func (s *Server) runJob(j *job) {
 	defer s.release(j)
+	j.queueSpan.End()
 	j.setRunning()
+	// The run span parents on the job root but executes under s.ctx, so
+	// shutdown cancellation still reaches the sweep pool: ContextWithRemote
+	// transplants only the trace identity, never the cancellation chain.
+	ctx := s.ctx
+	var runSpan *tracing.Span
+	if j.span != nil {
+		ctx, runSpan = s.cfg.Tracer.Start(tracing.ContextWithRemote(s.ctx, j.span.Context()), "run")
+	}
 	var (
 		missSpecs []wire.TrialSpec
 		missKeys  []string
@@ -237,8 +269,13 @@ func (s *Server) runJob(j *job) {
 		}
 		missByKey[key] = append(missByKey[key], i)
 	}
+	if runSpan != nil {
+		runSpan.SetAttrInt("cache_hits", j.cacheHits.Load())
+		runSpan.SetAttrInt("cache_misses", j.cacheMisses.Load())
+		runSpan.SetAttrInt("unique_misses", int64(len(missSpecs)))
+	}
 	if len(missSpecs) > 0 {
-		_, err := s.runner(s.ctx, missSpecs, s.cfg.Parallelism,
+		_, err := s.runner(ctx, missSpecs, s.cfg.Parallelism,
 			func(mi int, r wire.TrialResult) {
 				key := missKeys[mi]
 				s.cache.Put(key, r)
@@ -247,11 +284,13 @@ func (s *Server) runJob(j *job) {
 				}
 			})
 		if err != nil {
+			runSpan.EndErr(err)
 			j.finish(err)
 			s.retire(j)
 			return
 		}
 	}
+	runSpan.End()
 	j.finish(nil)
 	s.retire(j)
 }
@@ -259,7 +298,15 @@ func (s *Server) runJob(j *job) {
 // submit registers a job under a fresh ID and accounts it in jobWG — the
 // Add happens under the same mutex that gates closed, so it can never race
 // Shutdown's Wait. It fails once the server is shutting down.
-func (s *Server) submit(specs []wire.TrialSpec) (*job, error) {
+//
+// tctx carries the request's trace context (a remote parent extracted from
+// the traceparent header, if any); the job's root "job" span and its
+// "queue-wait" child are opened here, under the mutex, so the job is fully
+// traced before it becomes visible to concurrent /v1/traces readers.
+func (s *Server) submit(specs []wire.TrialSpec, tctx context.Context) (*job, error) {
+	if tctx == nil {
+		tctx = context.Background()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -267,6 +314,14 @@ func (s *Server) submit(specs []wire.TrialSpec) (*job, error) {
 	}
 	s.nextID++
 	j := newJob(fmt.Sprintf("j%06d", s.nextID), s.nextID, specs)
+	tctx, j.span = s.cfg.Tracer.Start(tctx, "job")
+	j.tctx = tctx
+	if j.span != nil {
+		j.traceID = j.span.Context().Trace.String()
+		j.span.SetAttr("job", j.id)
+		j.span.SetAttrInt("trials", int64(len(specs)))
+		_, j.queueSpan = s.cfg.Tracer.Start(tctx, "queue-wait")
+	}
 	s.jobs[j.id] = j
 	s.jobWG.Add(1)
 	return j, nil
@@ -298,6 +353,19 @@ func (s *Server) enqueue(j *job) error {
 // oldest terminal jobs beyond Config.JobHistory are forgotten, so a
 // long-running daemon's memory tracks load, not lifetime request count.
 func (s *Server) retire(j *job) {
+	j.closeTrace()
+	st := j.Status()
+	lg := s.cfg.Logger.With(tracing.LogAttrs(j.tctx)...)
+	switch st.State {
+	case JobFailed:
+		lg.Error("job failed", "job", j.id, "error", st.Error, "completed", st.Completed, "total", st.Total)
+	case JobCanceled:
+		lg.Warn("job canceled", "job", j.id, "error", st.Error)
+	default:
+		lg.Info("job done", "job", j.id,
+			"completed", st.Completed, "total", st.Total,
+			"cache_hits", st.CacheHits, "cache_misses", st.CacheMisses)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.retired = append(s.retired, j.id)
@@ -390,7 +458,52 @@ func (s *Server) Handler() http.Handler {
 	s.route(mux, "GET /v1/readyz", "/v1/readyz", s.handleReadyz)
 	s.route(mux, "GET /v1/stats", "/v1/stats", s.handleStats)
 	s.route(mux, "GET /v1/metrics", "/v1/metrics", s.handleMetrics)
+	s.route(mux, "GET /v1/traces/{id}", "/v1/traces/{id}", s.handleTrace)
 	return mux
+}
+
+// handleTrace serves GET /v1/traces/{id}: the span set of one trace, id
+// being either a job ID (resolved to the job's trace) or a bare 32-hex
+// trace ID (so a coordinator can be asked about a trace it learned from a
+// worker, and vice versa). Spans come from the local ring plus, on a
+// coordinator, Config.TraceFetch's best-effort sweep of the workers; the
+// merged set is deduplicated by span ID and sorted by start time.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Tracer == nil {
+		writeError(w, http.StatusNotFound, errors.New("service: tracing is not enabled on this daemon"))
+		return
+	}
+	id := r.PathValue("id")
+	var traceID string
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	switch {
+	case ok:
+		traceID = j.traceID
+	default:
+		tid, err := tracing.ParseTraceID(id)
+		if err != nil {
+			writeError(w, http.StatusNotFound, fmt.Errorf("service: %q is neither a known job nor a trace ID", id))
+			return
+		}
+		traceID = tid.String()
+	}
+	spans := s.cfg.Tracer.Spans(traceID)
+	if s.cfg.TraceFetch != nil {
+		spans = append(spans, s.cfg.TraceFetch(r.Context(), traceID)...)
+	}
+	seen := make(map[string]bool, len(spans))
+	dedup := spans[:0]
+	for _, d := range spans {
+		if seen[d.SpanID] {
+			continue
+		}
+		seen[d.SpanID] = true
+		dedup = append(dedup, d)
+	}
+	sort.SliceStable(dedup, func(a, b int) bool { return dedup[a].Start.Before(dedup[b].Start) })
+	writeJSON(w, http.StatusOK, wire.Trace{TraceID: traceID, Spans: dedup})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -424,12 +537,23 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	j, err := s.submit(specs)
+	// Join the caller's trace when the request carries a valid traceparent;
+	// a malformed header is ignored (the job roots a fresh trace), never 4xx —
+	// tracing must not be able to fail a run.
+	tctx := context.Background()
+	if tp := r.Header.Get(wire.HeaderTraceparent); tp != "" {
+		if sc, perr := tracing.ParseTraceparent(tp); perr == nil {
+			tctx = tracing.ContextWithRemote(tctx, sc)
+		}
+	}
+	j, err := s.submit(specs, tctx)
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	}
 	s.metrics.jobsSubmitted.Inc()
+	s.cfg.Logger.With(tracing.LogAttrs(j.tctx)...).Info("job submitted",
+		"job", j.id, "trials", len(specs), "async", req.Async, "stream", streamParam(r))
 	if streamParam(r) {
 		s.streamRun(w, r, j)
 		return

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"dynspread/internal/obs"
+	"dynspread/internal/tracing"
 )
 
 // TestPoolMetricsRecorded: a sweep with Metrics set records exactly its
@@ -57,16 +58,17 @@ func TestPoolMetricsRecorded(t *testing.T) {
 }
 
 // TestSweepMetricsAllocFree is the observability-plane extension of the
-// root alloc gates: with PoolMetrics enabled, the steady-state round path
-// must still allocate NOTHING — metrics are updated only at trial
-// granularity, so the per-round allocation count of a metered sweep is
-// identical to an unmetered one: zero. Measured differentially (two runs of
-// the same deterministic trial differing only in MaxRounds share their
-// setup and metric costs, so the difference is the extra rounds' cost
-// alone).
+// root alloc gates: with PoolMetrics AND a Tracer enabled, the steady-state
+// round path must still allocate NOTHING — metrics and spans are touched
+// only at trial granularity, so the per-round allocation count of a fully
+// instrumented sweep is identical to an uninstrumented one: zero. Measured
+// differentially (two runs of the same deterministic trial differing only
+// in MaxRounds share their setup, metric, and span costs, so the difference
+// is the extra rounds' cost alone).
 func TestSweepMetricsAllocFree(t *testing.T) {
 	reg := obs.NewRegistry()
 	pm := NewPoolMetrics(reg)
+	tracer := tracing.New(tracing.Config{Service: "alloc-gate", Registry: reg})
 	trial := Trial{
 		N: 8, K: 512,
 		Algorithm: "topkis",
@@ -76,7 +78,8 @@ func TestSweepMetricsAllocFree(t *testing.T) {
 	run := func(rounds int) {
 		tr := trial
 		tr.MaxRounds = rounds
-		results, err := Run(context.Background(), []Trial{tr}, Options{Metrics: pm, Parallelism: 1})
+		results, err := Run(context.Background(), []Trial{tr},
+			Options{Metrics: pm, Tracer: tracer, Parallelism: 1})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strconv"
 	"time"
 
 	"dynspread/internal/adversary"
@@ -23,6 +24,7 @@ import (
 	"dynspread/internal/stats"
 	"dynspread/internal/token"
 	"dynspread/internal/trace"
+	"dynspread/internal/tracing"
 )
 
 // Trial is one fully specified execution.
@@ -388,6 +390,13 @@ type Options struct {
 	// updates happen at trial granularity: the round hot path never touches
 	// a metric, so the zero-alloc and ns/round gates hold with metrics on.
 	Metrics *PoolMetrics
+	// Tracer, when non-nil, opens one span per trial — named "trial", a
+	// child of whatever span context ctx carries (a job's run span on the
+	// spreadd service), attributed with the resolved shape and outcome.
+	// Spans exist at TRIAL granularity only: like Metrics, the per-round
+	// path records nothing, which is what keeps the alloc and ns/round
+	// gates green with tracing enabled (see TestSweepMetricsAllocFree).
+	Tracer *tracing.Tracer
 }
 
 // Run executes the trials on a worker pool (sim.ForEach) and returns
@@ -417,7 +426,12 @@ func Run(ctx context.Context, trials []Trial, opts Options) ([]Result, error) {
 				opts.Metrics.started.Inc()
 				start = time.Now()
 			}
+			_, span := opts.Tracer.Start(ctx, "trial")
 			r, err := RunTrial(trials[i], ws)
+			if span != nil {
+				annotateTrialSpan(span, i, r, err)
+				span.End()
+			}
 			if opts.Metrics != nil {
 				opts.Metrics.observe(start, r, err)
 			}
@@ -435,6 +449,33 @@ func Run(ctx context.Context, trials []Trial, opts Options) ([]Result, error) {
 		return nil, fmt.Errorf("sweep: trial %d (%s): %w", i, trials[i], err)
 	}
 	return results, nil
+}
+
+// annotateTrialSpan records the resolved trial's identity and outcome on
+// its span. The resolved trial (r.Trial) is used even on error — scenario
+// resolution fills the shape in before the engine can fail.
+func annotateTrialSpan(span *tracing.Span, i int, r Result, err error) {
+	t := r.Trial
+	span.SetAttrInt("index", int64(i))
+	if t.Scenario != "" {
+		span.SetAttr("scenario", t.Scenario)
+	}
+	span.SetAttr("algorithm", t.Algorithm)
+	if r.AdversaryName != "" {
+		span.SetAttr("adversary", r.AdversaryName)
+	} else if t.Adversary != "" {
+		span.SetAttr("adversary", t.Adversary)
+	}
+	span.SetAttrInt("n", int64(t.N))
+	span.SetAttrInt("k", int64(t.K))
+	span.SetAttrInt("seed", t.Seed)
+	if err != nil {
+		span.SetAttr("error", err.Error())
+		return
+	}
+	span.SetAttrInt("rounds", int64(r.Res.Rounds))
+	span.SetAttrInt("messages", r.Res.Metrics.Messages)
+	span.SetAttr("completed", strconv.FormatBool(r.Res.Completed))
 }
 
 // Validate rejects a grid that would expand to fewer trials than its author

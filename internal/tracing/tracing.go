@@ -1,0 +1,221 @@
+// Package tracing is the distributed-tracing leg of the observability
+// plane: a dependency-free (stdlib-only) span library that gives every
+// request crossing the spreadd tier — spreadctl → coordinator → per-worker
+// dispatch → remote spreadd → sweep pool → trial — one connected trace.
+//
+// The model is Dapper-style: a Span records one timed operation with
+// attributes and events; spans nest through context.Context, and a trace is
+// the tree of spans sharing one TraceID. Propagation across processes uses
+// the W3C Trace Context `traceparent` header format (version 00), so the
+// coordinator's dispatch span and the worker's job span join one trace even
+// though each daemon keeps its own Tracer.
+//
+// The package is distinct from internal/trace, which records GRAPH traces
+// (per-round edge events for replay); this one records EXECUTION traces.
+//
+// Cost model: spans are created at request/job/shard/trial granularity and
+// NEVER inside the round hot path — the engine's zero-alloc and ns/round
+// gates stay green with tracing enabled because a trial's rounds run exactly
+// as they do untraced. A nil *Tracer (and the nil *Span it hands out) is a
+// no-op on every method, so call sites thread tracing unconditionally.
+//
+// Finished spans land in a bounded in-memory ring buffer (queried by
+// GET /v1/traces/{id} and Tracer.Spans) and, optionally, in a JSONL sink
+// for durable export. A span-count gauge and a dropped-spans counter
+// register on the internal/obs registry when one is supplied.
+package tracing
+
+import (
+	"context"
+	"encoding/hex"
+	"fmt"
+	"math/rand/v2"
+)
+
+// TraceID identifies one end-to-end trace: 16 bytes, non-zero, rendered as
+// 32 lowercase hex characters (the W3C trace-id field).
+type TraceID [16]byte
+
+// IsZero reports whether the ID is the invalid all-zero ID.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// SpanID identifies one span within a trace: 8 bytes, non-zero, rendered as
+// 16 lowercase hex characters (the W3C parent-id field).
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero ID.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// SpanContext is the propagated identity of a span: what crosses process
+// boundaries in a traceparent header, and what children parent onto.
+type SpanContext struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// IsValid reports whether both IDs are non-zero.
+func (sc SpanContext) IsValid() bool { return !sc.Trace.IsZero() && !sc.Span.IsZero() }
+
+// Traceparent renders the context in W3C Trace Context form:
+// version 00, sampled flag set — e.g.
+// "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01".
+func (sc SpanContext) Traceparent() string {
+	return "00-" + sc.Trace.String() + "-" + sc.Span.String() + "-01"
+}
+
+// ParseTraceparent parses a W3C traceparent header value. Per the spec, any
+// parseable version except the reserved "ff" is accepted and extra fields a
+// future version may append are ignored; the trace and parent IDs must be
+// well-formed lowercase hex and non-zero.
+func ParseTraceparent(s string) (SpanContext, error) {
+	var sc SpanContext
+	fail := func(why string) (SpanContext, error) {
+		return SpanContext{}, fmt.Errorf("tracing: invalid traceparent %q: %s", s, why)
+	}
+	// version "-" trace-id "-" parent-id "-" flags [ "-" ... ]
+	if len(s) < 55 {
+		return fail("too short")
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return fail("bad field layout")
+	}
+	if len(s) > 55 && s[55] != '-' {
+		return fail("trailing garbage")
+	}
+	ver := s[:2]
+	if !isLowerHex(ver) {
+		return fail("non-hex version")
+	}
+	if ver == "ff" {
+		return fail("reserved version ff")
+	}
+	if _, err := hex.Decode(sc.Trace[:], []byte(s[3:35])); err != nil || !isLowerHex(s[3:35]) {
+		return fail("malformed trace-id")
+	}
+	if _, err := hex.Decode(sc.Span[:], []byte(s[36:52])); err != nil || !isLowerHex(s[36:52]) {
+		return fail("malformed parent-id")
+	}
+	if !isLowerHex(s[53:55]) {
+		return fail("malformed flags")
+	}
+	if sc.Trace.IsZero() {
+		return fail("all-zero trace-id")
+	}
+	if sc.Span.IsZero() {
+		return fail("all-zero parent-id")
+	}
+	return sc, nil
+}
+
+// ParseTraceID parses a bare 32-hex-character trace ID (the form
+// GET /v1/traces/{id} accepts alongside job IDs).
+func ParseTraceID(s string) (TraceID, error) {
+	var t TraceID
+	if len(s) != 32 || !isLowerHex(s) {
+		return t, fmt.Errorf("tracing: invalid trace ID %q", s)
+	}
+	if _, err := hex.Decode(t[:], []byte(s)); err != nil {
+		return TraceID{}, fmt.Errorf("tracing: invalid trace ID %q", s)
+	}
+	if t.IsZero() {
+		return TraceID{}, fmt.Errorf("tracing: all-zero trace ID")
+	}
+	return t, nil
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// newTraceID returns a random non-zero trace ID. math/rand/v2's global
+// generator is goroutine-safe and randomly seeded per process; trace IDs
+// need uniqueness, not unpredictability.
+func newTraceID() TraceID {
+	var t TraceID
+	for t.IsZero() {
+		a, b := rand.Uint64(), rand.Uint64()
+		for i := 0; i < 8; i++ {
+			t[i] = byte(a >> (8 * i))
+			t[8+i] = byte(b >> (8 * i))
+		}
+	}
+	return t
+}
+
+func newSpanID() SpanID {
+	var s SpanID
+	for s.IsZero() {
+		a := rand.Uint64()
+		for i := 0; i < 8; i++ {
+			s[i] = byte(a >> (8 * i))
+		}
+	}
+	return s
+}
+
+// Context plumbing: one key carries the current LOCAL span (so events and
+// attributes can be added to it downstream), a second carries a REMOTE
+// parent context extracted from an incoming traceparent header. Start
+// consults the local span first, then the remote parent.
+type (
+	spanKey   struct{}
+	remoteKey struct{}
+)
+
+// ContextWithRemote returns a context under which the next Start call
+// parents onto sc — the extraction side of traceparent propagation.
+// An invalid sc returns ctx unchanged.
+func ContextWithRemote(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.IsValid() {
+		return ctx
+	}
+	return context.WithValue(ctx, remoteKey{}, sc)
+}
+
+// SpanFromContext returns the local span started under ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// FromContext returns the span context a child started under ctx would
+// parent onto: the local span's context if one is active, else a remote
+// parent installed by ContextWithRemote. This is also the injection side of
+// propagation — service.Client stamps it into the traceparent header of
+// every outgoing request.
+func FromContext(ctx context.Context) (SpanContext, bool) {
+	if ctx == nil {
+		return SpanContext{}, false
+	}
+	if s := SpanFromContext(ctx); s != nil {
+		return s.Context(), true
+	}
+	sc, ok := ctx.Value(remoteKey{}).(SpanContext)
+	return sc, ok
+}
+
+// LogAttrs returns alternating key/value pairs ("trace_id", …, "span_id",
+// …) for the span context active under ctx, or nil — ready to splat into
+// slog's Logger.With, which is how log lines correlate with spans:
+//
+//	logger.With(tracing.LogAttrs(ctx)...).Info("job done", "job", id)
+func LogAttrs(ctx context.Context) []any {
+	sc, ok := FromContext(ctx)
+	if !ok {
+		return nil
+	}
+	return []any{"trace_id", sc.Trace.String(), "span_id", sc.Span.String()}
+}

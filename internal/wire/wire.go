@@ -31,7 +31,31 @@ import (
 	_ "dynspread/internal/core"
 	"dynspread/internal/sim"
 	"dynspread/internal/sweep"
+	"dynspread/internal/tracing"
 )
+
+// Trace-context propagation headers (W3C Trace Context). Every hop of the
+// serving tier speaks them: service handlers extract HeaderTraceparent from
+// incoming requests so a job joins its submitter's trace, and service.Client
+// injects it on outgoing requests so coordinator→worker dispatch and the
+// worker's job land in ONE trace. HeaderTracestate is propagated opaquely
+// when present (this codebase sets no state of its own).
+const (
+	HeaderTraceparent = "traceparent"
+	HeaderTracestate  = "tracestate"
+)
+
+// Trace is the body of GET /v1/traces/{id}: every finished span of one
+// trace that the daemon (and, on a coordinator, its workers) still retains,
+// sorted by start time. Spans form a tree through ParentID; a span whose
+// parent is absent renders as a root (the parent may have been recorded by
+// an unqueried process, or evicted from a ring buffer).
+type Trace struct {
+	TraceID string `json:"trace_id"`
+	// Spans reuses the tracing exporter's JSONL schema verbatim, so a
+	// fetched trace and a -trace-log line are the same object.
+	Spans []tracing.SpanData `json:"spans"`
+}
 
 // TrialSpec is the wire form of one fully specified trial: the JSON schema
 // accepted per-trial by POST /v1/runs and emitted by spreadsim -json.
@@ -360,21 +384,23 @@ type ShardResponse struct {
 // progress. Error and cancellation semantics match sweep.Run: the first
 // error wins and no results are returned.
 func RunSpecs(ctx context.Context, specs []TrialSpec, parallelism int, onResult func(i int, r TrialResult)) ([]TrialResult, error) {
-	return runSpecs(ctx, specs, parallelism, onResult, nil)
+	return runSpecs(ctx, specs, parallelism, onResult, nil, nil)
 }
 
 // RunSpecsWith returns a RunSpecs-shaped runner whose sweeps additionally
 // record into pm (trials started/completed/failed, rounds and messages
-// totals, per-trial duration histogram). The spreadd service installs one
-// of these as its default runner, which is how a worker daemon's
-// /v1/metrics reports sweep-pool throughput.
-func RunSpecsWith(pm *sweep.PoolMetrics) func(ctx context.Context, specs []TrialSpec, parallelism int, onResult func(i int, r TrialResult)) ([]TrialResult, error) {
+// totals, per-trial duration histogram) and, when tr is non-nil, open one
+// span per trial parented on the span context the ctx carries. The spreadd
+// service installs one of these as its default runner, which is how a
+// worker daemon's /v1/metrics reports sweep-pool throughput and its job
+// traces reach trial granularity. Either handle may be nil.
+func RunSpecsWith(pm *sweep.PoolMetrics, tr *tracing.Tracer) func(ctx context.Context, specs []TrialSpec, parallelism int, onResult func(i int, r TrialResult)) ([]TrialResult, error) {
 	return func(ctx context.Context, specs []TrialSpec, parallelism int, onResult func(i int, r TrialResult)) ([]TrialResult, error) {
-		return runSpecs(ctx, specs, parallelism, onResult, pm)
+		return runSpecs(ctx, specs, parallelism, onResult, pm, tr)
 	}
 }
 
-func runSpecs(ctx context.Context, specs []TrialSpec, parallelism int, onResult func(i int, r TrialResult), pm *sweep.PoolMetrics) ([]TrialResult, error) {
+func runSpecs(ctx context.Context, specs []TrialSpec, parallelism int, onResult func(i int, r TrialResult), pm *sweep.PoolMetrics, tr *tracing.Tracer) ([]TrialResult, error) {
 	trials := make([]sweep.Trial, len(specs))
 	for i, s := range specs {
 		if s.Replay {
@@ -389,6 +415,7 @@ func runSpecs(ctx context.Context, specs []TrialSpec, parallelism int, onResult 
 	opts := sweep.Options{
 		Parallelism: parallelism,
 		Metrics:     pm,
+		Tracer:      tr,
 		OnResult: func(i int, r sweep.Result) {
 			tr := ResultFromSweep(r)
 			out[i] = tr
