@@ -54,7 +54,27 @@
 //     content address that makes distributed sweeps resumable (interrupted
 //     runs skip stored keys; warm re-runs simulate nothing), and
 //   - internal/experiments — the harness that regenerates every table and
-//     figure (see EXPERIMENTS.md).
+//     figure (see EXPERIMENTS.md), and
+//   - internal/analysis — a stdlib-only static-analysis suite behind
+//     cmd/spreadvet (`go vet -vettool`) that mechanizes the repository's
+//     conventions: hot-path allocation discipline, registry hygiene, span
+//     lifecycle, wire-schema tags, and metric naming.
+//
+// # The hot-path contract
+//
+// Functions annotated //dynspread:hotpath in their doc comment run inside
+// the per-round simulation loop and promise not to allocate in the steady
+// state. The hotpath analyzer enforces the contract statically — no map
+// literals/writes/makes, no append growth, no fmt/reflect calls, no
+// capturing closures, no interface boxing — while the alloc-gate tests
+// (alloc_gate_test.go) enforce it dynamically. Constructs inside return
+// statements are exempt (failing out of the hot loop may allocate), and a
+// deliberate amortized allocation (a buffer that regrows a bounded number
+// of times and is then reused forever) is suppressed in code with
+//
+//	//dynspread:allow hotpath -- <why the allocation is amortized>
+//
+// on or above the flagged line; the justification is mandatory.
 //
 // Quick start:
 //

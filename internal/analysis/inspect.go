@@ -1,0 +1,35 @@
+package analysis
+
+import "go/ast"
+
+// WalkStack traverses the subtree rooted at n in depth-first order, calling
+// fn with each node and the stack of its ancestors (outermost first, not
+// including the node itself). Returning false from fn prunes the subtree.
+// This is the ancestry-aware walk several analyzers need (for example the
+// hotpath analyzer's "inside a return statement" exemption).
+func WalkStack(n ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(n, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			// Pruned: Inspect will not descend, so the pop callback for this
+			// node never fires; don't push it.
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// InsideReturn reports whether any ancestor on stack is a return statement.
+func InsideReturn(stack []ast.Node) bool {
+	for _, n := range stack {
+		if _, ok := n.(*ast.ReturnStmt); ok {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"dynspread/internal/analysis/analysistest"
+	"dynspread/internal/analysis/passes/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, ".", hotpath.Analyzer, "a")
+}

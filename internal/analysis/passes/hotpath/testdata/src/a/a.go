@@ -1,0 +1,68 @@
+// Package a is the hotpath analyzer's golden fixture.
+package a
+
+import "fmt"
+
+type iface interface{ M() }
+
+type impl struct{ n int }
+
+func (impl) M() {}
+
+func takesIface(i iface) {}
+
+func variadicIface(is ...iface) {}
+
+// cold is not annotated: nothing in it is flagged.
+func cold() {
+	m := map[int]int{}
+	m[1] = 2
+	_ = fmt.Sprint("fine here")
+}
+
+// hot exercises every banned construct.
+//
+//dynspread:hotpath
+func hot(xs []int, m map[int]int, counts map[string]int, v impl) []int {
+	mm := map[int]int{1: 2} // want `map literal allocates in hot-path function hot`
+	_ = mm
+	m[1] = 2                // want `map write in hot-path function hot`
+	counts["k"]++           // want `map write in hot-path function hot`
+	mk := make(map[int]int) // want `make\(map\) allocates in hot-path function hot`
+	_ = mk
+	xs = append(xs, 1) // want `append may grow its backing array in hot-path function hot`
+	fmt.Sprintln(v.n)  // want `call to fmt.Sprintln allocates in hot-path function hot`
+	takesIface(v)      // want `argument boxes a concrete value into iface in hot-path function hot`
+	variadicIface(v)   // want `argument boxes a concrete value into iface in hot-path function hot`
+	_ = iface(v)       // want `conversion boxes a concrete value into iface in hot-path function hot`
+	local := 7
+	f := func() int { return local } // want `closure captures local and escapes in hot-path function hot`
+	_ = f()
+	return xs
+}
+
+// returnsExempt shows the return-statement exemption: failing out of the
+// hot loop may allocate freely.
+//
+//dynspread:hotpath
+func returnsExempt(bad bool) ([]int, error) {
+	if bad {
+		return nil, fmt.Errorf("aborting run: %v", bad)
+	}
+	return append([]int(nil), 1), nil
+}
+
+// allowed shows justified and unjustified suppression directives.
+//
+//dynspread:hotpath
+func allowed(buf []int) []int {
+	//dynspread:allow hotpath -- amortized: buf is reused across rounds
+	buf = append(buf, 1)
+	//dynspread:allow hotpath
+	buf = append(buf, 2) // want `append may grow its backing array in hot-path function allowed \(allow directive present but has no`
+	var forward iface
+	takesIface(forward) // interface-typed argument: no boxing
+	staticFn := func() int { return 3 }
+	_ = staticFn()
+	return buf
+}

@@ -1,0 +1,20 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"dynspread/internal/analysis/analysistest"
+	"dynspread/internal/analysis/passes/metricname"
+)
+
+func TestMetricname(t *testing.T) {
+	// obsbeta runs after obsalpha so it receives obsalpha's exported facts
+	// and reports the cross-package name collision.
+	analysistest.Run(t, ".", metricname.Analyzer, "obsalpha", "obsbeta")
+}
+
+func TestMetricnameInPackage(t *testing.T) {
+	// obsbad runs alone: its findings are all local and it must not inherit
+	// the obsalpha/obsbeta collision noise.
+	analysistest.Run(t, ".", metricname.Analyzer, "obsbad")
+}

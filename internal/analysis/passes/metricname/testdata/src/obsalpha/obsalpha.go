@@ -1,0 +1,19 @@
+// Package obsalpha is a clean metrics fixture: literal, conventional,
+// collision-free names. It exists to export facts for the cross-package
+// collision test.
+package obsalpha
+
+// Registry stands in for obs.Registry; the analyzer matches constructor
+// methods on any type with this name.
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string) int                    { return 0 }
+func (r *Registry) Gauge(name, help string) int                      { return 0 }
+func (r *Registry) Histogram(name, help string, cuts ...float64) int { return 0 }
+
+func setup(r *Registry) {
+	r.Counter("dynspread_rounds_total", "Rounds simulated.")
+	r.Gauge("dynspread_active_trials", "Trials in flight.")
+	r.Histogram("dynspread_round_seconds", "Wall time per round.")
+	r.Counter("process_restarts_total", "Daemon restarts.")
+}

@@ -1,0 +1,26 @@
+// Package obsbad exercises every in-package metricname finding plus the
+// suppression directive.
+package obsbad
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string) int   { return 0 }
+func (r *Registry) Gauge(name, help string) int     { return 0 }
+func (r *Registry) Histogram(name, help string) int { return 0 }
+
+var dynamic = "dynspread_" + "computed_total"
+
+func setup(r *Registry) {
+	r.Counter(dynamic, "h")               // want `metric name must be a string literal`
+	r.Counter("dynspread_requests", "h")  // want `counter "dynspread_requests" must end in _total`
+	r.Counter("Dynspread_Bad_total", "h") // want `metric name "Dynspread_Bad_total" is not lower_snake_case`
+	r.Counter("widget_flips_total", "h")  // want `metric name "widget_flips_total" lacks a namespace prefix`
+	r.Gauge("dynspread_depth_total", "h") // want `gauge "dynspread_depth_total" must not end in _total`
+	r.Histogram("dynspread_latency", "h") // want `histogram "dynspread_latency" must end in a unit suffix`
+	r.Counter("dynspread_dup_total", "h")
+	r.Counter("dynspread_dup_total", "h") // want `metric "dynspread_dup_total" already created at`
+	//dynspread:allow metricname -- fixture: legacy dashboard name kept for compatibility
+	r.Counter("legacy_hits", "h")
+	//dynspread:allow metricname
+	r.Counter("legacy_misses", "h") // want `metric name "legacy_misses" lacks a namespace prefix.*allow directive present but has no` `counter "legacy_misses" must end in _total.*allow directive present but has no`
+}

@@ -1,0 +1,13 @@
+// Package obsbeta collides with obsalpha: both create
+// dynspread_rounds_total, which would make the runtime registry panic at
+// startup. The collision lands on this package's clause because it is the
+// first unit that sees both creation sites.
+package obsbeta // want `metric "dynspread_rounds_total" created in both obsalpha`
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string) int { return 0 }
+
+func setup(r *Registry) {
+	r.Counter("dynspread_rounds_total", "Rounds simulated, again.")
+}

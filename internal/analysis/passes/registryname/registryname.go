@@ -1,0 +1,223 @@
+// Package registryname implements the spreadvet analyzer pinning the
+// repository's registration convention: every call to RegisterAlgorithm,
+// RegisterAdversary, or RegisterScenario
+//
+//   - executes from an init function (registration is a link-time property
+//     of the binary, not something that happens lazily at run time),
+//   - names its entry with a string literal in the composite-literal
+//     argument (or a literal first argument), so the full catalog is
+//     greppable and auditable without executing anything, and
+//   - is duplicate-free across the whole build: the analyzer exports each
+//     package's registered names as facts, and any package that (directly
+//     or transitively) imports two registrations of the same name in the
+//     same registry reports the collision — turning a panic at first use
+//     into a vet failure at compile time.
+//
+// Test files are exempt: tests register throwaway entries under
+// deliberately colliding or computed names.
+package registryname
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dynspread/internal/analysis"
+)
+
+// Analyzer is the registry analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:      "registry",
+	Doc:       "require Register{Algorithm,Adversary,Scenario} calls to run from init with literal, build-wide-unique names",
+	UsesFacts: true,
+	Run:       run,
+}
+
+// registrars maps the recognized registration entry points to the registry
+// ("kind") they populate. Matching is by function name: the testdata
+// packages and any future registry package get the same treatment as
+// internal/registry and internal/scenario.
+var registrars = map[string]string{
+	"RegisterAlgorithm": "algorithm",
+	"RegisterAdversary": "adversary",
+	"RegisterScenario":  "scenario",
+}
+
+// site records where one name was registered, for collision messages.
+type site struct {
+	Pkg string `json:"pkg"`
+	Pos string `json:"pos"`
+}
+
+// facts is the exported fact schema: kind -> name -> first site.
+type facts map[string]map[string]site
+
+func run(pass *analysis.Pass) error {
+	local := facts{}
+	for _, file := range pass.Files {
+		filename := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			kind, ok := registrarKind(pass.TypesInfo, call)
+			if !ok {
+				return true
+			}
+			if fn := enclosingFunc(file, call.Pos()); fn == nil || fn.Name.Name != "init" || fn.Recv != nil {
+				pass.Reportf(call.Pos(), "%s registration must run from an init function (registration is a property of the build, not of execution order)", kind)
+			}
+			name, ok := literalName(call)
+			if !ok {
+				pass.Reportf(call.Pos(), "%s registration must use a string literal name (literal names make the catalog statically auditable)", kind)
+				return true
+			}
+			byName := local[kind]
+			if byName == nil {
+				byName = map[string]site{}
+				local[kind] = byName
+			}
+			pos := pass.Fset.Position(call.Pos())
+			s := site{Pkg: pass.Pkg.Path(), Pos: fmt.Sprintf("%s:%d", pos.Filename, pos.Line)}
+			if prev, dup := byName[name]; dup {
+				pass.Reportf(call.Pos(), "%s %q already registered at %s", kind, name, prev.Pos)
+			} else {
+				byName[name] = s
+			}
+			return true
+		})
+	}
+
+	// Merge dependency facts: collisions between this package and a
+	// dependency report here with the dependency's site; collisions between
+	// two dependencies (siblings on the import graph) report at the first
+	// package that sees both.
+	merged := facts{}
+	depPaths := make([]string, 0, len(pass.DepFacts))
+	for dep := range pass.DepFacts {
+		depPaths = append(depPaths, dep)
+	}
+	sort.Strings(depPaths)
+	for _, dep := range depPaths {
+		var ff facts
+		if err := json.Unmarshal(pass.DepFacts[dep], &ff); err != nil {
+			return fmt.Errorf("decoding registry facts of %s: %w", dep, err)
+		}
+		for kind, byName := range ff {
+			dst := merged[kind]
+			if dst == nil {
+				dst = map[string]site{}
+				merged[kind] = dst
+			}
+			for name, s := range byName {
+				prev, dup := dst[name]
+				if !dup {
+					dst[name] = s
+					continue
+				}
+				if prev.Pkg != s.Pkg {
+					pass.Reportf(pass.Files[0].Package, "imported packages %s and %s both register %s %q (at %s and %s)",
+						prev.Pkg, s.Pkg, kind, name, prev.Pos, s.Pos)
+				}
+			}
+		}
+	}
+	for kind, byName := range local {
+		dst := merged[kind]
+		if dst == nil {
+			dst = map[string]site{}
+			merged[kind] = dst
+		}
+		for name, s := range byName {
+			if prev, dup := dst[name]; dup && prev.Pkg != s.Pkg {
+				// Re-report at the local registration site for precision.
+				pass.Reportf(pass.Files[0].Package, "%s %q registered in both %s (%s) and this package (%s)",
+					kind, name, prev.Pkg, prev.Pos, s.Pos)
+			}
+			dst[name] = s
+		}
+	}
+
+	blob, err := json.Marshal(merged)
+	if err != nil {
+		return err
+	}
+	pass.ExportFacts(blob)
+	return nil
+}
+
+// registrarKind resolves whether call invokes one of the registration
+// entry points (directly or package-qualified) and returns its kind.
+func registrarKind(info *types.Info, call *ast.CallExpr) (string, bool) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return "", false
+	}
+	kind, ok := registrars[id.Name]
+	if !ok {
+		return "", false
+	}
+	if _, isFunc := info.Uses[id].(*types.Func); !isFunc {
+		return "", false
+	}
+	return kind, true
+}
+
+// literalName extracts the registered name when it is statically evident:
+// either a literal first argument, or a `Name: "literal"` field in a
+// composite-literal argument.
+func literalName(call *ast.CallExpr) (string, bool) {
+	if len(call.Args) != 1 {
+		return "", false
+	}
+	switch arg := call.Args[0].(type) {
+	case *ast.BasicLit:
+		return unquote(arg)
+	case *ast.CompositeLit:
+		for _, elt := range arg.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Name" {
+				if lit, ok := kv.Value.(*ast.BasicLit); ok {
+					return unquote(lit)
+				}
+				return "", false
+			}
+		}
+	}
+	return "", false
+}
+
+func unquote(lit *ast.BasicLit) (string, bool) {
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil || s == "" {
+		return "", false
+	}
+	return s, true
+}
+
+// enclosingFunc returns the function declaration containing pos, if any.
+func enclosingFunc(file *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, decl := range file.Decls {
+		if fn, ok := decl.(*ast.FuncDecl); ok && fn.Pos() <= pos && pos < fn.End() {
+			return fn
+		}
+	}
+	return nil
+}

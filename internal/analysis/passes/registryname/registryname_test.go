@@ -1,0 +1,20 @@
+package registryname_test
+
+import (
+	"testing"
+
+	"dynspread/internal/analysis/analysistest"
+	"dynspread/internal/analysis/passes/registryname"
+)
+
+func TestRegistry(t *testing.T) {
+	// regbeta runs after regalpha so it receives regalpha's exported facts
+	// and reports the cross-package name collision.
+	analysistest.Run(t, ".", registryname.Analyzer, "regalpha", "regbeta")
+}
+
+func TestRegistryInPackage(t *testing.T) {
+	// regbad runs alone: its findings are all local and it must not inherit
+	// the regalpha/regbeta collision noise.
+	analysistest.Run(t, ".", registryname.Analyzer, "regbad")
+}

@@ -1,0 +1,18 @@
+// Package regalpha is a clean registration fixture: everything happens in
+// init with literal names, so it produces no findings and only exports
+// facts for the cross-package tests.
+package regalpha
+
+// Algorithm stands in for the real catalog spec type; the analyzer matches
+// the registrar by function name, not import path.
+type Algorithm struct {
+	Name string
+	Doc  string
+}
+
+func RegisterAlgorithm(spec Algorithm) {}
+
+func init() {
+	RegisterAlgorithm(Algorithm{Name: "flooding", Doc: "forward everything"})
+	RegisterAlgorithm(Algorithm{Name: "topkis", Doc: "rank-ordered unicast"})
+}

@@ -1,0 +1,27 @@
+// Package regbad exercises every in-package registry finding plus the
+// suppression directive.
+package regbad
+
+type Adversary struct {
+	Name string
+}
+
+func RegisterAdversary(spec Adversary) {}
+
+var computed = "built-at-runtime"
+
+// setup is not init, so registering here makes the catalog depend on who
+// remembers to call setup.
+func setup() {
+	RegisterAdversary(Adversary{Name: "late"}) // want `adversary registration must run from an init function`
+}
+
+func init() {
+	RegisterAdversary(Adversary{Name: computed}) // want `adversary registration must use a string literal name`
+	RegisterAdversary(Adversary{Name: "dup"})
+	RegisterAdversary(Adversary{Name: "dup"}) // want `adversary "dup" already registered at`
+	//dynspread:allow registry -- fixture: exercises the justified-suppression path
+	RegisterAdversary(Adversary{Name: computed})
+	//dynspread:allow registry
+	RegisterAdversary(Adversary{Name: computed}) // want `adversary registration must use a string literal name.*allow directive present but has no`
+}

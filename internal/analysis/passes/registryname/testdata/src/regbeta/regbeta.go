@@ -1,0 +1,14 @@
+// Package regbeta collides with regalpha: both register algorithm
+// "flooding". The collision is reported against this package's clause
+// because it is the first unit that sees both registrations.
+package regbeta // want `algorithm "flooding" registered in both regalpha`
+
+type Algorithm struct {
+	Name string
+}
+
+func RegisterAlgorithm(spec Algorithm) {}
+
+func init() {
+	RegisterAlgorithm(Algorithm{Name: "flooding"})
+}

@@ -1,0 +1,12 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"dynspread/internal/analysis/analysistest"
+	"dynspread/internal/analysis/passes/spanend"
+)
+
+func TestSpanend(t *testing.T) {
+	analysistest.Run(t, ".", spanend.Analyzer, "a")
+}

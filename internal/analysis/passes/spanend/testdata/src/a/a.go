@@ -1,0 +1,159 @@
+// Package a is the spanend analyzer's golden fixture. Tracer and Span are
+// local stubs: the analyzer matches any Start* method returning a *Span,
+// so fixtures stay self-contained.
+package a
+
+type Span struct{ n int }
+
+func (s *Span) End()                {}
+func (s *Span) EndErr(err error)    {}
+func (s *Span) SetAttr(k, v string) {}
+
+type Tracer struct{}
+
+func (t *Tracer) Start(name string) (int, *Span) { return 0, &Span{} }
+
+// linear: started, used, ended — clean.
+func linear(tr *Tracer) {
+	_, sp := tr.Start("x")
+	sp.SetAttr("k", "v")
+	sp.End()
+}
+
+// deferred: the idiomatic shape.
+func deferred(tr *Tracer) {
+	_, sp := tr.Start("x")
+	defer sp.End()
+	sp.SetAttr("k", "v")
+}
+
+// deferClosure: End happens inside a deferred closure.
+func deferClosure(tr *Tracer) {
+	_, sp := tr.Start("x")
+	defer func() { sp.EndErr(nil) }()
+}
+
+// branches: both arms of the if end the span.
+func branches(tr *Tracer, c bool) {
+	_, sp := tr.Start("x")
+	if c {
+		sp.End()
+	} else {
+		sp.EndErr(nil)
+	}
+}
+
+// nilGuarded: ending under `if sp != nil` counts — the implicit else is a
+// nil span, which needs no End.
+func nilGuarded(tr *Tracer) {
+	_, sp := tr.Start("x")
+	if sp != nil {
+		sp.End()
+	}
+}
+
+// switched: every case plus default ends the span.
+func switched(tr *Tracer, n int) {
+	_, sp := tr.Start("x")
+	switch n {
+	case 1:
+		sp.End()
+	default:
+		sp.EndErr(nil)
+	}
+}
+
+// handOff: the span escapes into a callee, which owns its lifetime.
+func handOff(tr *Tracer) {
+	_, sp := tr.Start("x")
+	finishLater(sp)
+}
+
+func finishLater(sp *Span) { sp.End() }
+
+// escapes: returning the span hands the obligation to the caller.
+func escapes(tr *Tracer) *Span {
+	_, sp := tr.Start("x")
+	return sp
+}
+
+// discarded: a blank-assigned span can never be ended.
+func discarded(tr *Tracer) {
+	_, _ = tr.Start("x") // want `span is discarded: the started span can never reach End`
+}
+
+// returnLeak: the early return skips End.
+func returnLeak(tr *Tracer, c bool) {
+	_, sp := tr.Start("x")
+	if c {
+		return // want `return leaves span .started at .*. without End`
+	}
+	sp.End()
+}
+
+// fallThrough: no path ends the span at all.
+func fallThrough(tr *Tracer) {
+	_, sp := tr.Start("x") // want `span does not reach End on the fall-through path out of fallThrough`
+	sp.SetAttr("k", "v")
+}
+
+// overwrite: the second Start clobbers the first span before it ends.
+func overwrite(tr *Tracer) {
+	_, sp := tr.Start("first")
+	_, sp = tr.Start("second") // want `span .started at .*. is overwritten without End`
+	sp.End()
+}
+
+// loops: a per-iteration span must end within the iteration.
+func loops(tr *Tracer, n int) {
+	for i := 0; i < n; i++ {
+		_, sp := tr.Start("iter") // want `span started inside a loop does not reach End within the iteration`
+		sp.SetAttr("k", "v")
+	}
+}
+
+// closureScope: function literals are analyzed as their own scopes.
+func closureScope(tr *Tracer) func() {
+	return func() {
+		_, sp := tr.Start("inner") // want `span does not reach End on the fall-through path out of function literal`
+		sp.SetAttr("k", "v")
+	}
+}
+
+// suppressed: a justified allow silences the finding.
+func suppressed(tr *Tracer) {
+	//dynspread:allow spanend -- fixture: span lifetime is owned by the harness
+	_, sp := tr.Start("x")
+	sp.SetAttr("k", "v")
+}
+
+// unjustified: an allow without a reason does not suppress.
+func unjustified(tr *Tracer) {
+	//dynspread:allow spanend
+	_, sp := tr.Start("x") // want `span does not reach End on the fall-through path out of unjustified.*allow directive present but has no`
+	sp.SetAttr("k", "v")
+}
+
+// Probe exercises the nilsafe half of the analyzer.
+//
+//dynspread:nilsafe
+type Probe struct{ n int }
+
+// Good guards before touching state.
+func (p *Probe) Good() int {
+	if p == nil {
+		return 0
+	}
+	return p.n
+}
+
+// Delegate only calls other methods, which carry their own guards.
+func (p *Probe) Delegate() int { return p.Good() }
+
+// Bad dereferences without a guard.
+func (p *Probe) Bad() int {
+	return p.n // want `method Probe.Bad of nilsafe type dereferences its receiver without a leading nil guard`
+}
+
+// internal is unexported: the nil-safety promise covers the exported API.
+func (p *Probe) internal() int { return p.n }

@@ -1,0 +1,42 @@
+// Package wire is the wiretag analyzer's golden fixture; the analyzer only
+// fires in packages literally named "wire".
+package wire
+
+// Spec exercises the tag and Validate checks.
+type Spec struct {
+	Rounds  int    `json:"rounds"`
+	Budget  int    `json:"budget"`
+	Untag   int    // want `exported wire field Spec.Untag has no json tag`
+	Camel   int    `json:"camelCase"` // want `json tag "camelCase" on Spec.Camel is not lower_snake_case`
+	Skipped string `json:"-"`
+	Missing int    `json:"missing"` // want `numeric field Spec.Missing is never referenced in Spec.Validate`
+	//dynspread:allow wiretag -- fixture: every value is a valid seed, Validate has no bound to enforce
+	Seed int64 `json:"seed"`
+	//dynspread:allow wiretag
+	Loose int    `json:"loose"` // want `numeric field Spec.Loose is never referenced in Spec.Validate.*allow directive present but has no`
+	Name  string `json:"name"`
+
+	hidden int
+}
+
+// Validate bounds-checks the fields the analyzer expects to see here. Untag
+// and Camel are referenced so their tag findings stay the only ones on
+// those lines.
+func (s *Spec) Validate() error {
+	if s.Rounds < 0 || s.Budget < 0 || s.Untag < 0 || s.Camel < 0 {
+		return nil
+	}
+	return nil
+}
+
+// Report has no Validate method, so its numeric fields carry no
+// bounds-check obligation — only the tag rules apply.
+type Report struct {
+	Total int `json:"total"`
+	Empty int `json:",omitempty"` // want `json tag "" on Report.Empty is not lower_snake_case`
+}
+
+// internalScratch is unexported: not part of the wire vocabulary.
+type internalScratch struct {
+	Whatever int
+}

@@ -1,0 +1,12 @@
+package wiretag_test
+
+import (
+	"testing"
+
+	"dynspread/internal/analysis/analysistest"
+	"dynspread/internal/analysis/passes/wiretag"
+)
+
+func TestWiretag(t *testing.T) {
+	analysistest.Run(t, ".", wiretag.Analyzer, "wire")
+}

@@ -145,6 +145,8 @@ func (s *Set) promote() {
 }
 
 // Add inserts i into the set. Out-of-range indices are ignored.
+//
+//dynspread:hotpath
 func (s *Set) Add(i int) { s.Insert(i) }
 
 // Insert adds i and reports whether it was newly inserted. Crossing the
@@ -155,6 +157,8 @@ func (s *Set) Add(i int) { s.Insert(i) }
 // before this split the non-inlined dispatch measurably slowed broadcast
 // steady rounds) and push the sparse branch behind noinline helpers so the
 // binary search does not count against the inlining budget.
+//
+//dynspread:hotpath
 func (s *Set) Insert(i int) bool {
 	if !s.dense || uint(i) >= uint(s.n) {
 		return s.insertSlow(i)
@@ -185,6 +189,8 @@ func (s *Set) insertSlow(i int) bool {
 
 // Delete removes i and reports whether it was present. Deletion never
 // demotes; only Reset does.
+//
+//dynspread:hotpath
 func (s *Set) Delete(i int) bool {
 	if !s.dense || uint(i) >= uint(s.n) {
 		return s.deleteSlow(i)
@@ -220,6 +226,8 @@ func (s *Set) Remove(i int) { s.Delete(i) }
 // sparse) falls through to the slow helper. Folding representation dispatch
 // and bounds check into one compare is what fits this under the inlining
 // budget.
+//
+//dynspread:hotpath
 func (s *Set) Contains(i int) bool {
 	if w := uint(i) >> 6; w < uint(len(s.dw)) {
 		return s.dw[w]&(1<<uint(i&63)) != 0
@@ -251,6 +259,8 @@ func (s *Set) UnionWith(o *bitset.Set) error {
 }
 
 // UnionCount returns |s ∪ o| without mutating s, or -1 on capacity mismatch.
+//
+//dynspread:hotpath
 func (s *Set) UnionCount(o *bitset.Set) int {
 	if s.dense {
 		return s.dn.UnionCount(o)
@@ -261,6 +271,8 @@ func (s *Set) UnionCount(o *bitset.Set) int {
 // FirstNotIn returns the smallest element of s \ o, or -1 when the
 // difference is empty. Elements of s beyond o's capacity count as absent
 // from o, mirroring bitset.Set.FirstNotIn.
+//
+//dynspread:hotpath
 func (s *Set) FirstNotIn(o *bitset.Set) int {
 	if s.dense {
 		return s.dn.FirstNotIn(o)

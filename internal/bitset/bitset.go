@@ -74,6 +74,8 @@ func (s *Set) Len() int { return s.n }
 func (s *Set) Words() []uint64 { return s.words }
 
 // Add inserts i into the set. Out-of-range indices are ignored.
+//
+//dynspread:hotpath
 func (s *Set) Add(i int) {
 	if i < 0 || i >= s.n {
 		return
@@ -84,6 +86,8 @@ func (s *Set) Add(i int) {
 // Insert adds i and reports whether it was newly inserted (false for
 // out-of-range indices and elements already present). One word load replaces
 // the Contains-then-Add double lookup on the engine's delivery path.
+//
+//dynspread:hotpath
 func (s *Set) Insert(i int) bool {
 	if i < 0 || i >= s.n {
 		return false
@@ -118,6 +122,8 @@ func (s *Set) Remove(i int) {
 }
 
 // Contains reports whether i is in the set.
+//
+//dynspread:hotpath
 func (s *Set) Contains(i int) bool {
 	if i < 0 || i >= s.n {
 		return false
@@ -126,6 +132,8 @@ func (s *Set) Contains(i int) bool {
 }
 
 // Count returns the number of elements in the set.
+//
+//dynspread:hotpath
 func (s *Set) Count() int {
 	c := 0
 	for _, w := range s.words {
@@ -149,6 +157,8 @@ func (s *Set) Empty() bool {
 // word against its trimmed mask) instead of popcounting the whole set, so on
 // the engine's per-round completion scan a near-empty set answers in one
 // word load.
+//
+//dynspread:hotpath
 func (s *Set) Full() bool {
 	if len(s.words) == 0 {
 		return true
@@ -252,6 +262,8 @@ func (s *Set) UnionWith(o *Set) error {
 // newly set bits, fused into one pass — replacing the Count-before /
 // union / Count-after pattern with a single word sweep. It returns -1 on
 // capacity mismatch.
+//
+//dynspread:hotpath
 func (s *Set) UnionWithCount(o *Set) int {
 	if o.n != s.n {
 		return -1
@@ -319,6 +331,8 @@ func (s *Set) DifferenceWith(o *Set) error {
 
 // UnionCount returns |s ∪ o| without allocating. Capacities must match; a
 // mismatch returns -1.
+//
+//dynspread:hotpath
 func (s *Set) UnionCount(o *Set) int {
 	if o.n != s.n {
 		return -1
@@ -473,6 +487,8 @@ func (s *Set) ForEachNotInFrom(o *Set, from int, fn func(int)) {
 // difference is empty. It never allocates (unlike filtering Elements).
 // Capacities need not match: elements of s beyond o's capacity count as
 // absent from o.
+//
+//dynspread:hotpath
 func (s *Set) FirstNotIn(o *Set) int {
 	for i, w := range s.words {
 		if i < len(o.words) {

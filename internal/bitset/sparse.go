@@ -60,6 +60,8 @@ func (s *Sparse) search(i int32) int {
 }
 
 // Contains reports whether i is in the set.
+//
+//dynspread:hotpath
 func (s *Sparse) Contains(i int) bool {
 	if i < 0 || i >= s.n {
 		return false
@@ -154,6 +156,8 @@ func (s *Sparse) NextAbsent(from int) int {
 // FirstNotIn returns the smallest element of s \ o, or -1 when the
 // difference is empty. Elements beyond o's capacity count as absent from o,
 // mirroring Set.FirstNotIn.
+//
+//dynspread:hotpath
 func (s *Sparse) FirstNotIn(o *Set) int {
 	for _, e := range s.elems {
 		if !o.Contains(int(e)) {
@@ -166,6 +170,8 @@ func (s *Sparse) FirstNotIn(o *Set) int {
 // UnionCountDense returns |s ∪ o| for a dense o of the same universe, or -1
 // on capacity mismatch — the sparse half of the adaptive UnionCount kernel,
 // costing O(count · log count) probes instead of a word sweep.
+//
+//dynspread:hotpath
 func (s *Sparse) UnionCountDense(o *Set) int {
 	if o.Len() != s.n {
 		return -1

@@ -38,6 +38,8 @@ func NewFlooding(windowLen int) sim.BroadcastFactory {
 
 // Choose implements sim.BroadcastProtocol: broadcast the window's scheduled
 // token iff this node holds it.
+//
+//dynspread:hotpath
 func (f *Flooding) Choose(r int) token.ID {
 	if f.env.K == 0 {
 		return token.None
@@ -50,6 +52,8 @@ func (f *Flooding) Choose(r int) token.ID {
 }
 
 // Deliver implements sim.BroadcastProtocol.
+//
+//dynspread:hotpath
 func (f *Flooding) Deliver(_ int, heard []sim.BroadcastHear) {
 	for _, h := range heard {
 		f.know.Add(h.Token)
@@ -58,6 +62,8 @@ func (f *Flooding) Deliver(_ int, heard []sim.BroadcastHear) {
 
 // Arrive implements sim.TokenArriver: a streamed token joins the known set
 // and is broadcast whenever its window next comes around.
+//
+//dynspread:hotpath
 func (f *Flooding) Arrive(_ int, t token.ID) { f.know.Add(t) }
 
 // RandomBroadcast broadcasts a uniformly random held token every round. It
@@ -84,6 +90,8 @@ func NewRandomBroadcast() sim.BroadcastFactory {
 }
 
 // Choose implements sim.BroadcastProtocol.
+//
+//dynspread:hotpath
 func (p *RandomBroadcast) Choose(int) token.ID {
 	if len(p.know) == 0 {
 		return token.None
@@ -92,17 +100,23 @@ func (p *RandomBroadcast) Choose(int) token.ID {
 }
 
 // Deliver implements sim.BroadcastProtocol.
+//
+//dynspread:hotpath
 func (p *RandomBroadcast) Deliver(_ int, heard []sim.BroadcastHear) {
 	for _, h := range heard {
 		if p.seen.Insert(h.Token) {
+			//dynspread:allow hotpath -- amortized: know grows once per distinct token, at most k times over the whole run
 			p.know = append(p.know, h.Token)
 		}
 	}
 }
 
 // Arrive implements sim.TokenArriver.
+//
+//dynspread:hotpath
 func (p *RandomBroadcast) Arrive(_ int, t token.ID) {
 	if p.seen.Insert(t) {
+		//dynspread:allow hotpath -- amortized: know grows once per distinct token, at most k times over the whole run
 		p.know = append(p.know, t)
 	}
 }
@@ -128,6 +142,8 @@ func NewSilentBroadcast(broadcasters, windowLen int) sim.BroadcastFactory {
 }
 
 // Choose implements sim.BroadcastProtocol.
+//
+//dynspread:hotpath
 func (p *SilentBroadcast) Choose(r int) token.ID {
 	if p.id >= p.broadcasters {
 		return token.None
@@ -136,6 +152,8 @@ func (p *SilentBroadcast) Choose(r int) token.ID {
 }
 
 // Deliver implements sim.BroadcastProtocol.
+//
+//dynspread:hotpath
 func (p *SilentBroadcast) Deliver(r int, heard []sim.BroadcastHear) {
 	p.inner.Deliver(r, heard)
 }

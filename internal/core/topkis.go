@@ -45,10 +45,14 @@ func NewTopkis() sim.Factory {
 }
 
 // BeginRound implements sim.Protocol.
+//
+//dynspread:hotpath
 func (p *Topkis) BeginRound(_ int, neighbors []graph.NodeID) { p.nbrs = neighbors }
 
 // Send implements sim.Protocol: the lowest held token not yet sent to each
 // neighbor ("an arbitrary not yet forwarded token").
+//
+//dynspread:hotpath
 func (p *Topkis) Send(_ int) []sim.Message {
 	out := p.out[:0]
 	for _, u := range p.nbrs {
@@ -63,6 +67,7 @@ func (p *Topkis) Send(_ int) []sim.Message {
 		}
 		s.Add(t)
 		info := p.env.InfoOf(t)
+		//dynspread:allow hotpath -- amortized: out is the reusable Send buffer; capacity stabilizes at the node's degree
 		out = append(out, sim.TokenMsg(p.env.ID, u,
 			sim.TokenPayload{ID: t, Owner: info.Source, Index: info.Index}))
 	}
@@ -73,6 +78,8 @@ func (p *Topkis) Send(_ int) []sim.Message {
 // pickUnsent returns the lowest token in know but not in sentTo, or None.
 // know is adaptive (near-empty early, near-full late); sentTo stays dense —
 // it only ever grows and is probed, never unioned.
+//
+//dynspread:hotpath
 func pickUnsent(know *adaptive.Set, sentTo *bitset.Set) token.ID {
 	if t := know.FirstNotIn(sentTo); t >= 0 {
 		return t
@@ -82,9 +89,13 @@ func pickUnsent(know *adaptive.Set, sentTo *bitset.Set) token.ID {
 
 // Arrive implements sim.TokenArriver: a streamed token joins the known set
 // and gets pushed to every neighbor it has not been sent to, like any other.
+//
+//dynspread:hotpath
 func (p *Topkis) Arrive(_ int, t token.ID) { p.know.Add(t) }
 
 // Deliver implements sim.Protocol.
+//
+//dynspread:hotpath
 func (p *Topkis) Deliver(_ int, in []sim.Message) {
 	for i := range in {
 		if in[i].Has(sim.KindToken) {

@@ -94,6 +94,8 @@ func (m *broadcastMode) arriver(v graph.NodeID) TokenArriver {
 
 // commit lets every node commit its broadcast (token-forwarding checked)
 // before the adversary sees anything of the round.
+//
+//dynspread:hotpath
 func (m *broadcastMode) commit(r int) error {
 	k := m.st.k
 	know, metrics := m.st.know, &m.st.metrics
@@ -116,6 +118,8 @@ func (m *broadcastMode) commit(r int) error {
 
 // wire hands the adversary the round's committed choices along with the
 // execution view (the paper's strongly adaptive adversary).
+//
+//dynspread:hotpath
 func (m *broadcastMode) wire(r int, prev *graph.Graph) *graph.Graph {
 	m.view.Round = r
 	m.view.Prev = prev
@@ -124,6 +128,8 @@ func (m *broadcastMode) wire(r int, prev *graph.Graph) *graph.Graph {
 }
 
 // exchange delivers every committed broadcast to the round's neighbors.
+//
+//dynspread:hotpath
 func (m *broadcastMode) exchange(r int, g *graph.Graph) (int64, error) {
 	n := m.st.n
 	know, metrics := m.st.know, &m.st.metrics
@@ -140,6 +146,7 @@ func (m *broadcastMode) exchange(r int, g *graph.Graph) (int64, error) {
 				metrics.Learnings++
 				learned++
 			}
+			//dynspread:allow hotpath -- amortized: per-node heard buffers are truncated and reused across rounds; capacity stabilizes after the first few rounds
 			m.heard[u] = append(m.heard[u], BroadcastHear{From: v, Token: m.choices[v]})
 		}
 	}
@@ -149,6 +156,7 @@ func (m *broadcastMode) exchange(r int, g *graph.Graph) (int64, error) {
 	return learned, nil
 }
 
+//dynspread:hotpath
 func (m *broadcastMode) observe(r int, g *graph.Graph, learned int64) {
 	if m.cfg.OnRound != nil {
 		m.cfg.OnRound(r, g, m.choices, learned)

@@ -147,6 +147,8 @@ type engineState struct {
 }
 
 // complete costs one integer compare per node: adaptive.Full is O(1).
+//
+//dynspread:hotpath
 func (st *engineState) complete() bool {
 	for v := 0; v < st.n; v++ {
 		if !st.know[v].Full() {
@@ -157,7 +159,12 @@ func (st *engineState) complete() bool {
 }
 
 // runEngine executes the shared round structure for one mode. This is the
-// only round loop in the package.
+// only round loop in the package. The //dynspread:hotpath annotation covers
+// the whole function; the pre-loop setup phase (which legitimately
+// allocates) carries explicit allow directives so the round loop itself
+// stays provably construct-free.
+//
+//dynspread:hotpath
 func runEngine(cfg engineConfig, mode engineMode) (*Result, error) {
 	if cfg.assign == nil {
 		return nil, fmt.Errorf("sim: nil assignment")
@@ -194,11 +201,13 @@ func runEngine(cfg engineConfig, mode engineMode) (*Result, error) {
 	mode.bind(st)
 	rootRng := rand.New(rand.NewSource(cfg.seed))
 	for v := 0; v < n; v++ {
+		//dynspread:allow hotpath -- cold: one-time per-node setup before the round loop
 		initial := append([]token.ID(nil), cfg.assign.TokensOf(v)...)
 		if len(late) > 0 {
 			kept := initial[:0]
 			for _, t := range initial {
 				if cfg.arrivals[t] == 0 {
+					//dynspread:allow hotpath -- cold: in-place filter during setup, capacity already owned
 					kept = append(kept, t)
 				}
 			}

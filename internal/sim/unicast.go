@@ -105,8 +105,10 @@ func (m *unicastMode) arriver(v graph.NodeID) TokenArriver {
 	return a
 }
 
+//dynspread:hotpath
 func (m *unicastMode) commit(int) error { return nil }
 
+//dynspread:hotpath
 func (m *unicastMode) wire(r int, prev *graph.Graph) *graph.Graph {
 	m.view.Round = r
 	m.view.Prev = prev
@@ -118,6 +120,7 @@ func (m *unicastMode) wire(r int, prev *graph.Graph) *graph.Graph {
 	return m.cfg.Adversary.NextGraph(&m.view)
 }
 
+//dynspread:hotpath
 func (m *unicastMode) exchange(r int, g *graph.Graph) (int64, error) {
 	n, k := m.st.n, m.st.k
 	know, metrics := m.st.know, &m.st.metrics
@@ -184,6 +187,7 @@ func (m *unicastMode) exchange(r int, g *graph.Graph) (int64, error) {
 			if kinds&KindControl != 0 {
 				metrics.ControlPayloads++
 			}
+			//dynspread:allow hotpath -- amortized: appends into the workspace buffer retained across rounds; regrowth stops once per-round message counts plateau
 			sent = append(sent, msg)
 		}
 	}
@@ -250,6 +254,7 @@ func (m *unicastMode) exchange(r int, g *graph.Graph) (int64, error) {
 	return learned, nil
 }
 
+//dynspread:hotpath
 func (m *unicastMode) observe(r int, g *graph.Graph, learned int64) {
 	if m.cfg.OnRound != nil {
 		m.cfg.OnRound(r, g, m.lastSent, learned)

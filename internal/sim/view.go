@@ -37,6 +37,8 @@ type View struct {
 }
 
 // Knows reports whether node v currently holds token t.
+//
+//dynspread:hotpath
 func (v *View) Knows(node graph.NodeID, t token.ID) bool {
 	if node < 0 || node >= len(v.know) {
 		return false
@@ -45,6 +47,8 @@ func (v *View) Knows(node graph.NodeID, t token.ID) bool {
 }
 
 // KnowledgeCount returns |K_v(t)|, the number of tokens node v holds.
+//
+//dynspread:hotpath
 func (v *View) KnowledgeCount(node graph.NodeID) int {
 	if node < 0 || node >= len(v.know) {
 		return 0
@@ -57,6 +61,8 @@ func (v *View) KnowledgeCount(node graph.NodeID) int {
 // copying knowledge sets every round). It goes through the adaptive
 // representation: a fused word sweep when K_v is dense, an O(|K_v|) probe
 // walk while it is still sparse.
+//
+//dynspread:hotpath
 func (v *View) KnowledgeUnionCount(node graph.NodeID, other *bitset.Set) int {
 	if node < 0 || node >= len(v.know) {
 		return -1
@@ -74,6 +80,8 @@ type BroadcastView struct {
 }
 
 // NumBroadcasters returns the number of nodes broadcasting this round.
+//
+//dynspread:hotpath
 func (v *BroadcastView) NumBroadcasters() int {
 	c := 0
 	for _, t := range v.Choices {

@@ -428,10 +428,8 @@ func Run(ctx context.Context, trials []Trial, opts Options) ([]Result, error) {
 			}
 			_, span := opts.Tracer.Start(ctx, "trial")
 			r, err := RunTrial(trials[i], ws)
-			if span != nil {
-				annotateTrialSpan(span, i, r, err)
-				span.End()
-			}
+			annotateTrialSpan(span, i, r, err)
+			span.End()
 			if opts.Metrics != nil {
 				opts.Metrics.observe(start, r, err)
 			}

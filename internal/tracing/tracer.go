@@ -49,6 +49,11 @@ type EventData struct {
 // a nil *Span is valid and every method on it is a no-op, so call sites
 // never guard. Methods are safe for concurrent use — cluster dispatch
 // goroutines add events to one shared run span.
+//
+// The spanend analyzer enforces the nil-safety promise: every exported
+// pointer-receiver method must nil-guard before touching span state.
+//
+//dynspread:nilsafe
 type Span struct {
 	tracer *Tracer
 	name   string
@@ -174,6 +179,11 @@ type Config struct {
 // *Tracer is valid: Start returns the context unchanged and a nil span.
 // Create one per process with New and share it across layers — a shared
 // tracer is what makes one daemon's spans queryable as one set.
+//
+// The spanend analyzer enforces the nil-safety promise: every exported
+// pointer-receiver method must nil-guard before touching tracer state.
+//
+//dynspread:nilsafe
 type Tracer struct {
 	service string
 

@@ -75,6 +75,7 @@ type TrialSpec struct {
 	Algorithm string `json:"algorithm,omitempty"`
 	Adversary string `json:"adversary,omitempty"`
 	// Seed derives every random choice of the trial.
+	//dynspread:allow wiretag -- every int64 is a valid seed; Validate has no bound to enforce
 	Seed int64 `json:"seed"`
 	// MaxRounds caps the execution (0 = engine default); Sigma is the churn
 	// stability parameter (0 = default 3); CheckStability > 0 verifies
