@@ -194,6 +194,17 @@ func BenchmarkSteadyRoundUnicast(b *testing.B) {
 	}, 400)
 }
 
+// BenchmarkSteadyRoundUnicastRecorded is the same workload with the flight
+// recorder attached at the documented operational stride — compare against
+// BenchmarkSteadyRoundUnicast to see the recorder's per-round cost (the
+// TestRecorderOverheadGate bound is 1.10×; measured ~1.0×).
+func BenchmarkSteadyRoundUnicastRecorded(b *testing.B) {
+	benchSteadyRounds(b, dynspread.Config{
+		N: 64, K: 2048, Algorithm: dynspread.AlgTopkis, Adversary: dynspread.AdvStatic, Seed: 7,
+		Recorder: sim.NewRecorder(sim.RecorderConfig{Stride: 64}),
+	}, 400)
+}
+
 // BenchmarkSteadyRoundBroadcast measures the local-broadcast hot path via
 // flooding under the static adversary.
 func BenchmarkSteadyRoundBroadcast(b *testing.B) {

@@ -1,0 +1,191 @@
+package main
+
+// `spreadctl inspect` renders a done recorded job's flight-recorder series
+// in the terminal: one block per trial with sparkline curves of knowledge
+// density (Φ/nk) and messages per round, or — with -table — the full sample
+// table. The series come embedded on the job's results (GET /v1/jobs/{id}),
+// which also supplies the resolved n and k the density normalization needs.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dynspread/internal/service"
+	"dynspread/internal/sim"
+	"dynspread/internal/wire"
+)
+
+func cmdInspect(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	server := fs.String("server", "", "spreadd base URL")
+	id := fs.String("id", "", "job ID (or pass it as the positional argument)")
+	width := fs.Int("width", 60, "sparkline width in cells")
+	table := fs.Bool("table", false, "print the full per-sample table instead of sparklines")
+	fs.Parse(args)
+	if *id == "" && fs.NArg() > 0 {
+		*id = fs.Arg(0)
+	}
+	if *id == "" {
+		return fmt.Errorf("inspect needs a job ID: spreadctl inspect -server URL <job>")
+	}
+	if *width < 8 {
+		*width = 8
+	}
+	c, err := newClient(*server)
+	if err != nil {
+		return err
+	}
+	st, err := c.Job(ctx, *id)
+	if err != nil {
+		return err
+	}
+	if st.State != service.JobDone {
+		return fmt.Errorf("job %s is %s; inspect needs a done job", *id, st.State)
+	}
+	recorded := 0
+	for i, res := range st.Results {
+		if i > 0 {
+			fmt.Println()
+		}
+		inspectTrial(i, res, *width, *table)
+		if res.RoundSeries != nil {
+			recorded++
+		}
+	}
+	if recorded == 0 {
+		fmt.Fprintf(os.Stderr, "job %s carries no round series; submit with -record to capture them\n", *id)
+	}
+	return nil
+}
+
+func inspectTrial(i int, res wire.TrialResult, width int, table bool) {
+	t := res.Trial
+	name := t.Algorithm
+	if t.Scenario != "" {
+		name = t.Scenario + "/" + name
+	}
+	fmt.Printf("trial %d: %s vs %s  n=%d k=%d seed=%d  rounds=%d messages=%d\n",
+		i, name, res.Adversary, t.N, t.K, t.Seed, res.Rounds, res.Metrics.Messages)
+	s := res.RoundSeries
+	if s == nil || s.Len() == 0 {
+		fmt.Println("  (no round series)")
+		return
+	}
+	samples := s.Samples()
+	fmt.Printf("  samples %d (stride %d, ring %d", s.Len(), s.Stride, s.Capacity)
+	if s.Dropped > 0 {
+		fmt.Printf(", %d oldest dropped", s.Dropped)
+	}
+	fmt.Println(")")
+	if table {
+		inspectTable(samples, t)
+		return
+	}
+	nk := float64(t.N) * float64(t.K)
+	density := make([]float64, len(samples))
+	msgs := make([]float64, len(samples))
+	prevRound := 0
+	if s.Dropped > 0 {
+		// The window of the oldest retained sample starts where the dropped
+		// prefix ended, not at round 0.
+		prevRound = samples[0].Round - s.Stride
+	}
+	for j, sm := range samples {
+		if nk > 0 {
+			density[j] = float64(sm.Known) / nk
+		}
+		// Messages is a window delta; divide by the window's round span for a
+		// per-round rate the sparkline can compare across uneven windows (the
+		// final sample's window is usually shorter than a full stride).
+		span := sm.Round - prevRound
+		if span < 1 {
+			span = 1
+		}
+		msgs[j] = float64(sm.Messages) / float64(span)
+		prevRound = sm.Round
+	}
+	fmt.Printf("  density  %s  %.3f→%.3f\n", spark(density, width, 0, 1), density[0], density[len(density)-1])
+	lo, hi := bounds(msgs)
+	fmt.Printf("  msgs/rnd %s  max %.1f\n", spark(msgs, width, 0, hi), hi)
+	_ = lo
+}
+
+func inspectTable(samples []sim.RoundSample, t wire.TrialSpec) {
+	nk := float64(t.N) * float64(t.K)
+	fmt.Printf("  %7s %9s %9s %8s %9s %8s %6s %6s %9s\n",
+		"round", "messages", "learned", "arrived", "known", "density", "prom", "demo", "ns")
+	for _, sm := range samples {
+		density := 0.0
+		if nk > 0 {
+			density = float64(sm.Known) / nk
+		}
+		fmt.Printf("  %7d %9d %9d %8d %9d %8.4f %6d %6d %9d\n",
+			sm.Round, sm.Messages, sm.Learned, sm.Arrived, sm.Known, density,
+			sm.Promotions, sm.Demotions, sm.Nanos)
+	}
+}
+
+// sparkRunes are the eight-level block glyphs sparklines quantize into.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// spark renders xs as a fixed-width sparkline, scaling values into [lo, hi]
+// (hi <= lo falls back to the data's own bounds). Wider series are
+// downsampled by per-cell mean; narrower ones render one cell per value.
+func spark(xs []float64, width int, lo, hi float64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	cells := xs
+	if len(xs) > width {
+		cells = make([]float64, width)
+		for c := range cells {
+			// Cell c averages the half-open bucket of samples it covers.
+			start, end := c*len(xs)/width, (c+1)*len(xs)/width
+			if end == start {
+				end = start + 1
+			}
+			var sum float64
+			for _, v := range xs[start:end] {
+				sum += v
+			}
+			cells[c] = sum / float64(end-start)
+		}
+	}
+	if hi <= lo {
+		lo, hi = bounds(xs)
+	}
+	var b strings.Builder
+	for _, v := range cells {
+		level := 0
+		if hi > lo {
+			level = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		if level < 0 {
+			level = 0
+		}
+		if level >= len(sparkRunes) {
+			level = len(sparkRunes) - 1
+		}
+		b.WriteRune(sparkRunes[level])
+	}
+	return b.String()
+}
+
+func bounds(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, v := range xs[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}

@@ -63,6 +63,8 @@ func main() {
 		err = cmdJob(ctx, os.Args[2:])
 	case "watch":
 		err = cmdWatch(ctx, os.Args[2:])
+	case "inspect":
+		err = cmdInspect(ctx, os.Args[2:])
 	case "top":
 		err = cmdTop(ctx, os.Args[2:])
 	case "trace":
@@ -91,6 +93,8 @@ commands:
   jobs     list a server's jobs with status counts (-server)
   job      show one job (-server, -id)
   watch    stream a job live over JSONL (-server, -id or positional, [-out])
+  inspect  render a recorded job's per-round dynamics as terminal sparklines
+           (-server, -id or positional, [-width n] [-table])
   top      refreshing one-screen server view from /v1/metrics (-server,
            [-interval d] [-once])
   trace    render a job's distributed trace as a waterfall (-server,
@@ -166,6 +170,9 @@ func cmdSubmit(ctx context.Context, args []string) error {
 	async := fs.Bool("async", false, "force queued (202) execution")
 	watch := fs.Bool("watch", false, "poll a queued job until it finishes and print its results")
 	out := fs.String("out", "", "write results JSON here instead of stdout")
+	record := fs.Bool("record", false, "attach a flight recorder: every trial's result carries a per-round dynamics series (inspect with `spreadctl inspect`); recorded jobs bypass the server's result cache")
+	recordStride := fs.Int("record-stride", 0, "record every Nth round (0 = every round; implies -record)")
+	recordCapacity := fs.Int("record-capacity", 0, "recorder ring capacity in samples, keeping the last N (0 = server default; implies -record)")
 	fs.Parse(args)
 
 	c, err := newClient(*server)
@@ -176,7 +183,11 @@ func cmdSubmit(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	st, err := c.Run(ctx, wire.RunRequest{Grid: g, Async: *async})
+	req := wire.RunRequest{Grid: g, Async: *async}
+	if *record || *recordStride > 0 || *recordCapacity > 0 {
+		req.Record = &wire.RecordSpec{Stride: *recordStride, Capacity: *recordCapacity}
+	}
+	st, err := c.Run(ctx, req)
 	if err != nil {
 		return err
 	}

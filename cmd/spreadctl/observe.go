@@ -214,12 +214,19 @@ func mval(fams []obs.Family, name string, labels map[string]string) float64 {
 	return v
 }
 
-// rate computes (cur-prev)/elapsed for a counter across two scrapes.
+// rate computes (cur-prev)/elapsed for a counter across two scrapes,
+// clamped at zero: a counter that moved BACKWARD between scrapes means the
+// daemon restarted (its counters reset), and the top view should show a
+// quiet 0 for that window, not a large negative rate.
 func rate(cur, prev []obs.Family, name string, elapsed time.Duration) (float64, bool) {
 	if prev == nil || elapsed <= 0 {
 		return 0, false
 	}
-	return (mval(cur, name, nil) - mval(prev, name, nil)) / elapsed.Seconds(), true
+	d := mval(cur, name, nil) - mval(prev, name, nil)
+	if d < 0 {
+		d = 0
+	}
+	return d / elapsed.Seconds(), true
 }
 
 func renderTop(base, ready string, fams, prev []obs.Family, elapsed time.Duration, jl service.JobList, jobsErr error) {

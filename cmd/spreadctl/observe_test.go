@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"dynspread/internal/obs"
 	"dynspread/internal/service"
 	"dynspread/internal/wire"
 )
@@ -78,6 +79,48 @@ func TestFollowJobReconnect(t *testing.T) {
 	}
 	if !reconnected {
 		t.Fatalf("no reconnect notification; notes = %q", notes)
+	}
+}
+
+// TestRateClampsAcrossRestart: `spreadctl top` derives rates from scrape
+// deltas; a counter that moved backward between two scrapes means the
+// daemon restarted (all its counters reset), and the rate for that window
+// must clamp to zero instead of going hugely negative.
+func TestRateClampsAcrossRestart(t *testing.T) {
+	scrape := func(trials, messages float64) []obs.Family {
+		text := fmt.Sprintf(
+			"# HELP dynspread_trials_total Trials simulated.\n"+
+				"# TYPE dynspread_trials_total counter\n"+
+				"dynspread_trials_total %g\n"+
+				"# HELP dynspread_messages_total Messages sent.\n"+
+				"# TYPE dynspread_messages_total counter\n"+
+				"dynspread_messages_total %g\n", trials, messages)
+		fams, err := obs.ParseText(strings.NewReader(text))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fams
+	}
+
+	// Normal window: trials advanced 100→150 over 10s. Restart window:
+	// messages regressed 5000→40 (reset + a little fresh traffic).
+	prev, cur := scrape(100, 5000), scrape(150, 40)
+
+	r, ok := rate(cur, prev, "dynspread_trials_total", 10*time.Second)
+	if !ok || r != 5 {
+		t.Fatalf("advancing counter: rate = %v, %v; want 5, true", r, ok)
+	}
+	r, ok = rate(cur, prev, "dynspread_messages_total", 10*time.Second)
+	if !ok || r != 0 {
+		t.Fatalf("regressed counter: rate = %v, %v; want clamped 0, true", r, ok)
+	}
+
+	// No previous scrape or a zero window yields no rate at all.
+	if _, ok := rate(cur, nil, "dynspread_trials_total", 10*time.Second); ok {
+		t.Fatal("rate reported without a previous scrape")
+	}
+	if _, ok := rate(cur, prev, "dynspread_trials_total", 0); ok {
+		t.Fatal("rate reported for an empty window")
 	}
 }
 

@@ -68,7 +68,7 @@ func main() {
 		syncLimit    = flag.Int("sync-limit", 16, "largest job answered synchronously")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
 		peers        = flag.String("peers", "", "comma-separated spreadd worker base URLs; when set, this daemon coordinates: POST /v1/runs jobs are sharded across the peers")
-		storeDir     = flag.String("store", "", "persistent result-store directory (coordinator mode): stored trials are served from disk, new results appended")
+		storeDir     = flag.String("store", "", "persistent store directory: captured debug profiles always land here; in coordinator mode stored trials are also served from disk and new results appended")
 		shardSize    = flag.Int("shard-size", 0, "trials per shard in coordinator mode (0 = default)")
 		pprofOn      = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default; see docs for the profiling recipe)")
 		traceRing    = flag.Int("trace-ring", 4096, "finished spans kept in memory for GET /v1/traces (0 disables tracing)")
@@ -114,19 +114,24 @@ func main() {
 		Logger:         logger,
 	}
 
+	// One store serves two planes: coordinator-mode result persistence and
+	// the debug-profile blobs every mode can capture (POST /v1/debug/profile).
+	// A worker-mode daemon with -store therefore no longer errors — it just
+	// gets the profile plane without the result log.
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			log.Fatalf("spreadd: %v", err)
+		}
+		defer st.Close()
+		st.Register(reg)
+		cfg.Profiles = st
+	}
+
 	mode := "worker"
 	if *peers != "" {
 		workers := service.SplitBaseURLs(*peers)
-		ccfg := cluster.Config{Workers: workers, ShardSize: *shardSize, Metrics: reg, Tracer: tracer, Logger: logger}
-		if *storeDir != "" {
-			st, err := store.Open(*storeDir)
-			if err != nil {
-				log.Fatalf("spreadd: %v", err)
-			}
-			defer st.Close()
-			st.Register(reg)
-			ccfg.Store = st
-		}
+		ccfg := cluster.Config{Workers: workers, ShardSize: *shardSize, Metrics: reg, Tracer: tracer, Logger: logger, Store: cfg.Profiles}
 		coord, err := cluster.New(ccfg)
 		if err != nil {
 			log.Fatalf("spreadd: %v", err)
@@ -136,11 +141,9 @@ func main() {
 		// local spans plus every worker's, fetched on demand.
 		cfg.TraceFetch = coord.FetchSpans
 		mode = fmt.Sprintf("coordinator over %d workers %v", len(workers), workers)
-		if *storeDir != "" {
-			mode += " (store " + *storeDir + ")"
-		}
-	} else if *storeDir != "" {
-		log.Fatal("spreadd: -store requires -peers (the result store is wired through the coordinator)")
+	}
+	if *storeDir != "" {
+		mode += " (store " + *storeDir + ")"
 	}
 
 	svc := service.New(cfg)

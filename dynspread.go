@@ -151,6 +151,11 @@ type Config struct {
 	// allocation-free repeated runs. Not safe for concurrent use; see
 	// sim.Workspace.
 	Workspace *sim.Workspace
+	// Recorder, if non-nil, attaches a flight recorder sampling per-round
+	// dynamics into its preallocated ring (see sim.NewRecorder); the run's
+	// snapshot lands on Report.Flight. Like Workspace it is reusable across
+	// sequential runs (each run resets it) but not concurrency-safe.
+	Recorder *sim.Recorder
 }
 
 // Report is the outcome of one simulation.
@@ -169,6 +174,9 @@ type Report struct {
 	CompetitiveResidual float64 `json:"competitive_residual"`
 	// AdversaryName identifies the concrete adversary used.
 	AdversaryName string `json:"adversary"`
+	// Flight is the flight recorder's snapshot of the run's per-round
+	// dynamics; nil unless Config.Recorder was set.
+	Flight *sim.RecorderSnapshot `json:"flight,omitempty"`
 }
 
 // Run executes one simulation described by cfg. Scenarios, algorithms, and
@@ -180,7 +188,7 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return report(r.Res, r.Trial.K, r.AdversaryName), nil
+	return report(r), nil
 }
 
 // RunFull executes one simulation and returns the service-schema result:
@@ -206,7 +214,7 @@ func RunRecorded(cfg Config) (*Report, *GraphTrace, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return report(r.Res, r.Trial.K, r.AdversaryName), tr, nil
+	return report(r), tr, nil
 }
 
 // RunFullRecorded is RunRecorded with the service-schema result of RunFull.
@@ -265,7 +273,7 @@ func run(cfg Config, onGraph func(r int, g *graph.Graph)) (sweep.Result, error) 
 		// explicit ones.
 		opts = nil
 	}
-	r, err := sweep.RunTrial(sweep.Trial{
+	r, err := sweep.RunTrialRecorded(sweep.Trial{
 		Scenario: string(cfg.Scenario),
 		N:        cfg.N, K: cfg.K, Sources: cfg.Sources,
 		Algorithm: algName,
@@ -276,20 +284,22 @@ func run(cfg Config, onGraph func(r int, g *graph.Graph)) (sweep.Result, error) 
 		Sigma:     cfg.Sigma,
 		Options:   opts,
 		OnGraph:   onGraph,
-	}, cfg.Workspace)
+	}, cfg.Workspace, cfg.Recorder)
 	if err != nil {
 		return r, fmt.Errorf("dynspread: %w", err)
 	}
 	return r, nil
 }
 
-func report(res *sim.Result, k int, advName string) *Report {
+func report(r sweep.Result) *Report {
+	res := r.Res
 	return &Report{
 		Completed:           res.Completed,
 		Rounds:              res.Rounds,
 		Metrics:             res.Metrics,
-		Amortized:           res.Metrics.AmortizedPerToken(k),
+		Amortized:           res.Metrics.AmortizedPerToken(r.Trial.K),
 		CompetitiveResidual: res.Metrics.Competitive(1),
-		AdversaryName:       advName,
+		AdversaryName:       r.AdversaryName,
+		Flight:              r.Rounds,
 	}
 }

@@ -13,6 +13,13 @@ func TestMetricname(t *testing.T) {
 	analysistest.Run(t, ".", metricname.Analyzer, "obsalpha", "obsbeta")
 }
 
+func TestMetricnameRuntimeNamespace(t *testing.T) {
+	// obsruntime is the golden fixture for the dynspread_runtime_* names the
+	// runtime/metrics bridge registers: conventional names pass, raw
+	// runtime/metrics names and counter-suffixed gauges are flagged.
+	analysistest.Run(t, ".", metricname.Analyzer, "obsruntime")
+}
+
 func TestMetricnameInPackage(t *testing.T) {
 	// obsbad runs alone: its findings are all local and it must not inherit
 	// the obsalpha/obsbeta collision noise.

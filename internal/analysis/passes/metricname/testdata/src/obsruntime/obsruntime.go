@@ -1,0 +1,28 @@
+// Package obsruntime is the golden fixture for the dynspread_runtime_*
+// namespace: the exact names obs.RegisterRuntime creates must pass the
+// analyzer unflagged, and the shapes a careless runtime bridge would
+// produce (quantile gauges suffixed like counters, namespace-free names)
+// must still be caught.
+package obsruntime
+
+// Registry stands in for obs.Registry; the analyzer matches constructor
+// methods on any type with this name.
+type Registry struct{}
+
+func (r *Registry) Gauge(name, help string) int                       { return 0 }
+func (r *Registry) GaugeFunc(name, help string, f func() float64) int { return 0 }
+func (r *Registry) CounterFunc(name, help string, f func() int64) int { return 0 }
+
+func register(r *Registry) {
+	r.Gauge("dynspread_runtime_goroutines", "Live goroutines.")
+	r.Gauge("dynspread_runtime_heap_bytes", "Heap in use.")
+	r.Gauge("dynspread_runtime_heap_goal_bytes", "GC heap goal.")
+	r.CounterFunc("dynspread_runtime_gc_cycles_total", "Completed GC cycles.", func() int64 { return 0 })
+	r.GaugeFunc("dynspread_runtime_gc_pause_p50_seconds", "Median GC pause.", func() float64 { return 0 })
+	r.GaugeFunc("dynspread_runtime_gc_pause_p99_seconds", "Tail GC pause.", func() float64 { return 0 })
+	r.GaugeFunc("dynspread_runtime_sched_latency_p99_seconds", "Tail scheduling latency.", func() float64 { return 0 })
+
+	// The shapes the bridge must NOT take.
+	r.GaugeFunc("dynspread_runtime_pause_total", "Quantile as counter.", func() float64 { return 0 }) // want `gauge "dynspread_runtime_pause_total" must not end in _total`
+	r.Gauge("runtime_goroutines", "Raw runtime/metrics name.")                                        // want `metric name "runtime_goroutines" lacks a namespace prefix`
+}

@@ -53,8 +53,15 @@ type Set struct {
 	count     int
 	dense     bool
 	threshold int
-	sp        bitset.Sparse
-	dn        bitset.Set
+	// promotions and demotions count lifetime representation switches
+	// (sparse→dense crossings and Reset-time dense→sparse demotions). Both
+	// live entirely on cold paths — promote() and Reset — so the counters
+	// cost the hot path nothing; the flight recorder reads them to expose
+	// representation churn per round window.
+	promotions int64
+	demotions  int64
+	sp         bitset.Sparse
+	dn         bitset.Set
 	// dw caches dn.Words() while dense so Insert/Delete/Contains inline a
 	// one-word probe instead of calling through two method layers (the
 	// engine's delivery loop runs one probe per message). Invariant: dw is
@@ -126,6 +133,9 @@ func (s *Set) Reset(n int) {
 		s.dw = s.dn.Words()
 		return
 	}
+	if s.dense {
+		s.demotions++
+	}
 	s.dense = false
 	s.dw = nil // dispatch invariant: dw is non-empty exactly while dense
 	s.threshold = promoteAt(n)
@@ -141,8 +151,17 @@ func (s *Set) promote() {
 	s.dn.Reset(s.n)
 	s.sp.FillDense(&s.dn)
 	s.dense = true
+	s.promotions++
 	s.dw = s.dn.Words()
 }
+
+// Promotions returns the lifetime count of sparse→dense promotions.
+func (s *Set) Promotions() int64 { return s.promotions }
+
+// Demotions returns the lifetime count of dense→sparse demotions (which
+// happen only in Reset, when a previously-dense set is recycled into a
+// sparse-qualifying universe).
+func (s *Set) Demotions() int64 { return s.demotions }
 
 // Add inserts i into the set. Out-of-range indices are ignored.
 //

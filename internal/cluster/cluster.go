@@ -274,6 +274,14 @@ func (c *Coordinator) Run(ctx context.Context, specs []wire.TrialSpec, onResult 
 		return results, err
 	}
 	c.stats.trials.Add(int64(len(specs)))
+	// A recording run (wire.WithRecord on ctx — a coordinator-mode spreadd's
+	// service layer puts it there) wants flight-recorder series on every
+	// result, which stored results do not carry and MUST not acquire: the
+	// series' ring parameters are request-scoped, so a recorded run both
+	// skips the store read (a hit would lack its series) and the store write
+	// (a recorded result would leak this request's series into future runs).
+	// Every shard carries the spec onward so workers opt in uniformly.
+	record := wire.RecordFromContext(ctx)
 	results := make([]wire.TrialResult, len(specs))
 	// indexByKey maps each unique content address to every input index
 	// holding it; one execution serves them all. The store is consulted
@@ -299,7 +307,7 @@ func (c *Coordinator) Run(ctx context.Context, specs []wire.TrialSpec, onResult 
 			continue
 		}
 		indexByKey[k] = []int{i}
-		if c.cfg.Store != nil {
+		if c.cfg.Store != nil && record == nil {
 			if res, ok := c.cfg.Store.Get(k); ok {
 				hits[k] = res // served below, once indexByKey is complete
 				continue
@@ -318,6 +326,11 @@ func (c *Coordinator) Run(ctx context.Context, specs []wire.TrialSpec, onResult 
 	}
 
 	plan := planKeyed(missing, c.cfg.ShardSize)
+	if record != nil {
+		for i := range plan {
+			plan[i].Record = record
+		}
+	}
 	runSpan.SetAttrInt("store_hits", int64(len(hits)))
 	runSpan.SetAttrInt("shards", int64(len(plan)))
 	if len(plan) == 0 {
@@ -326,7 +339,7 @@ func (c *Coordinator) Run(ctx context.Context, specs []wire.TrialSpec, onResult 
 	lg.Info("cluster run started", "trials", len(specs), "shards", len(plan), "store_hits", len(hits))
 	c.stats.shards.Add(int64(len(plan)))
 	if err := c.dispatch(ctx, plan, func(key string, res wire.TrialResult) error {
-		if c.cfg.Store != nil {
+		if c.cfg.Store != nil && record == nil {
 			if err := c.cfg.Store.Put(key, res); err != nil {
 				return err
 			}

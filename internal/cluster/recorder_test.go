@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"dynspread/internal/sim"
+	"dynspread/internal/store"
+	"dynspread/internal/wire"
+)
+
+// stripNanos zeroes the wall-clock column of a decoded series so runs from
+// different processes compare bit-identically (everything else is
+// deterministic; Nanos is not).
+func stripNanos(samples []sim.RoundSample) []sim.RoundSample {
+	out := make([]sim.RoundSample, len(samples))
+	copy(out, samples)
+	for i := range out {
+		out[i].Nanos = 0
+	}
+	return out
+}
+
+// TestClusterRecordedMatchesLocal: a recorded sweep sharded across two
+// workers returns the same round series — modulo wall time — as the same
+// sweep run locally, every result carries a series, and none of it lands in
+// the coordinator's result store.
+func TestClusterRecordedMatchesLocal(t *testing.T) {
+	specs := testSpecs(t)
+	w1, w2 := newWorker(t), newWorker(t)
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	coord, err := New(Config{
+		Workers:   []string{w1.URL, w2.URL},
+		ShardSize: 4,
+		Poll:      5 * time.Millisecond,
+		Store:     st,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := &wire.RecordSpec{Stride: 2, Capacity: 256}
+	ctx := wire.WithRecord(context.Background(), rec)
+	dist, err := coord.Run(ctx, specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := wire.RunSpecs(ctx, specs, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dist) != len(specs) || len(local) != len(specs) {
+		t.Fatalf("result counts: dist=%d local=%d", len(dist), len(local))
+	}
+	for i := range dist {
+		ds, ls := dist[i].RoundSeries, local[i].RoundSeries
+		if ds == nil || ls == nil {
+			t.Fatalf("trial %d missing series: dist=%v local=%v", i, ds != nil, ls != nil)
+		}
+		if ds.Stride != rec.Stride || ds.Capacity != rec.Capacity {
+			t.Fatalf("trial %d series header: %+v", i, ds)
+		}
+		if !reflect.DeepEqual(stripNanos(ds.Samples()), stripNanos(ls.Samples())) {
+			t.Fatalf("trial %d: distributed series diverges from local", i)
+		}
+	}
+	// Recorded results never reach the durable store — a replayed, cached
+	// result would lack the request-scoped series.
+	if st.Len() != 0 {
+		t.Fatalf("recorded run persisted %d results into the store", st.Len())
+	}
+
+	// The same sweep unrecorded has no series and DOES persist.
+	plain, err := coord.Run(context.Background(), specs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if plain[i].RoundSeries != nil {
+			t.Fatalf("unrecorded trial %d carries a series", i)
+		}
+	}
+	if st.Len() != len(specs) {
+		t.Fatalf("unrecorded run persisted %d results, want %d", st.Len(), len(specs))
+	}
+}

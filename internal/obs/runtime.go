@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync/atomic"
+)
+
+// This file bridges the Go runtime's own telemetry (runtime/metrics) into an
+// obs Registry, so one /v1/metrics scrape shows the simulation counters AND
+// the runtime health they depend on: heap size vs. goal (is the zero-alloc
+// discipline holding?), GC pause and scheduler-latency quantiles (is the
+// sweep pool being preempted?), goroutine count, and GC cycle totals. All
+// sampling happens at scrape time through one metrics.Read batch — nothing
+// runs between scrapes, so the bridge costs the hot path nothing.
+
+// The runtime/metrics series the bridge reads. Scalars are exported
+// directly; the two histogram-shaped series (GC pauses and scheduler
+// latencies) are summarized into p50/p90/p99 gauges, which keeps the
+// exposition small and stable (the runtime's bucket boundaries are not ours
+// to promise across Go versions).
+const (
+	sampleGoroutines   = "/sched/goroutines:goroutines"
+	sampleHeapBytes    = "/memory/classes/heap/objects:bytes"
+	sampleHeapGoal     = "/gc/heap/goal:bytes"
+	sampleGCCycles     = "/gc/cycles/total:gc-cycles"
+	sampleGCPauses     = "/gc/pauses:seconds"
+	sampleSchedLatency = "/sched/latencies:seconds"
+)
+
+// runtimeQuantiles are the summary points exported per histogram series,
+// index-aligned with the [3]atomic.Uint64 value arrays below.
+var runtimeQuantiles = [3]float64{0.5, 0.9, 0.99}
+
+// RegisterRuntime registers the Go runtime telemetry bridge on r:
+//
+//	dynspread_runtime_goroutines              gauge    live goroutines
+//	dynspread_runtime_heap_bytes              gauge    bytes of live heap objects
+//	dynspread_runtime_heap_goal_bytes         gauge    the GC's next heap-size goal
+//	dynspread_runtime_gc_cycles_total         counter  completed GC cycles
+//	dynspread_runtime_gc_pause_p{50,90,99}_seconds       gauges  GC pause quantiles
+//	dynspread_runtime_sched_latency_p{50,90,99}_seconds  gauges  scheduling-latency quantiles
+//
+// Every value is refreshed by one runtime/metrics batch read per scrape.
+// Idempotent per registry, like RegisterProcess, so a daemon that merges
+// several subsystems into one registry can call it from each without
+// coordinating.
+func RegisterRuntime(r *Registry) {
+	if r == nil || r.Has("dynspread_runtime_goroutines") {
+		return
+	}
+
+	samples := []metrics.Sample{
+		{Name: sampleGoroutines},
+		{Name: sampleHeapBytes},
+		{Name: sampleHeapGoal},
+		{Name: sampleGCCycles},
+		{Name: sampleGCPauses},
+		{Name: sampleSchedLatency},
+	}
+
+	// OnScrape publishes into these atomics; the func-backed families below
+	// read them. Quantiles are float64 bit patterns (Gauge holds int64s, and
+	// sub-second latencies need the fraction).
+	var goroutines, heapBytes, heapGoal, gcCycles atomic.Uint64
+	var pauseQ, latencyQ [3]atomic.Uint64
+
+	// Names stay literal at every constructor call (the metricname analyzer's
+	// catalog contract), so the closures below only abstract the VALUE read.
+	uintVal := func(v *atomic.Uint64) func() float64 {
+		return func() float64 { return float64(v.Load()) }
+	}
+	floatVal := func(bits *atomic.Uint64) func() float64 {
+		return func() float64 { return math.Float64frombits(bits.Load()) }
+	}
+	r.GaugeFunc("dynspread_runtime_goroutines",
+		"Number of live goroutines, sampled at scrape time.", uintVal(&goroutines))
+	r.GaugeFunc("dynspread_runtime_heap_bytes",
+		"Bytes of memory occupied by live heap objects plus unswept garbage.", uintVal(&heapBytes))
+	r.GaugeFunc("dynspread_runtime_heap_goal_bytes",
+		"The garbage collector's next heap size goal in bytes.", uintVal(&heapGoal))
+	r.CounterFunc("dynspread_runtime_gc_cycles_total",
+		"Completed GC cycles since process start.", uintVal(&gcCycles))
+	r.GaugeFunc("dynspread_runtime_gc_pause_p50_seconds",
+		"Median GC stop-the-world pause latency.", floatVal(&pauseQ[0]))
+	r.GaugeFunc("dynspread_runtime_gc_pause_p90_seconds",
+		"90th-percentile GC stop-the-world pause latency.", floatVal(&pauseQ[1]))
+	r.GaugeFunc("dynspread_runtime_gc_pause_p99_seconds",
+		"99th-percentile GC stop-the-world pause latency.", floatVal(&pauseQ[2]))
+	r.GaugeFunc("dynspread_runtime_sched_latency_p50_seconds",
+		"Median time goroutines spend runnable before running.", floatVal(&latencyQ[0]))
+	r.GaugeFunc("dynspread_runtime_sched_latency_p90_seconds",
+		"90th-percentile time goroutines spend runnable before running.", floatVal(&latencyQ[1]))
+	r.GaugeFunc("dynspread_runtime_sched_latency_p99_seconds",
+		"99th-percentile time goroutines spend runnable before running.", floatVal(&latencyQ[2]))
+
+	publishQuantiles := func(dst *[3]atomic.Uint64, h *metrics.Float64Histogram) {
+		for i, q := range runtimeQuantiles {
+			dst[i].Store(math.Float64bits(histQuantile(h, q)))
+		}
+	}
+	r.OnScrape(func() {
+		metrics.Read(samples)
+		for i := range samples {
+			s := &samples[i]
+			switch s.Name {
+			case sampleGoroutines, sampleHeapBytes, sampleHeapGoal, sampleGCCycles:
+				if s.Value.Kind() != metrics.KindUint64 {
+					continue // series shape changed in a future runtime; skip, don't crash
+				}
+				switch s.Name {
+				case sampleGoroutines:
+					goroutines.Store(s.Value.Uint64())
+				case sampleHeapBytes:
+					heapBytes.Store(s.Value.Uint64())
+				case sampleHeapGoal:
+					heapGoal.Store(s.Value.Uint64())
+				case sampleGCCycles:
+					gcCycles.Store(s.Value.Uint64())
+				}
+			case sampleGCPauses:
+				if s.Value.Kind() == metrics.KindFloat64Histogram {
+					publishQuantiles(&pauseQ, s.Value.Float64Histogram())
+				}
+			case sampleSchedLatency:
+				if s.Value.Kind() == metrics.KindFloat64Histogram {
+					publishQuantiles(&latencyQ, s.Value.Float64Histogram())
+				}
+			}
+		}
+	})
+}
+
+// histQuantile returns the q-quantile upper bound of a runtime
+// Float64Histogram by cumulative bucket walk: Buckets[i], Buckets[i+1]
+// bound Counts[i]. The boundary slice may start at -Inf and end at +Inf; an
+// infinite answer is clamped to the nearest finite boundary (a quantile of
+// +Inf is useless on a dashboard).
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			upper := h.Buckets[i+1]
+			if math.IsInf(upper, +1) {
+				upper = h.Buckets[i]
+			}
+			if math.IsInf(upper, -1) {
+				return 0
+			}
+			return upper
+		}
+	}
+	return 0 // unreachable: cum reaches total >= target inside the loop
+}

@@ -44,6 +44,10 @@ type job struct {
 	id    string
 	seq   int // submission order; the sort key of GET /v1/jobs
 	specs []wire.TrialSpec
+	// record, when non-nil, asks every trial for a flight-recorder round
+	// series (and routes the job around the result cache — see runJob).
+	// Written once in submit before the job is published, so no lock.
+	record *wire.RecordSpec
 
 	// Trace identity, written once in submit before the job is published
 	// (so no lock): the root "job" span, its "queue-wait" child, the context
@@ -105,23 +109,33 @@ func (j *job) unsubscribe(sub *streamSub) {
 }
 
 // deliver records trial i's result (the job's progress counter and result
-// slot) and fans a "result" event out to every attached stream. Distinct
-// indices are written by distinct callers, so the slot write needs no lock —
-// the existing finish/done ordering publishes it to status readers — and the
-// fan-out send is non-blocking: a full subscriber buffer marks that
-// subscriber lost rather than waiting on it.
+// slot) and fans a "result" event out to every attached stream — followed,
+// when the trial carries a flight-recorder series, by a "round_series" event
+// for the same index, so stream consumers that only want the dynamics can
+// skip result payloads. Distinct indices are written by distinct callers, so
+// the slot write needs no lock — the existing finish/done ordering publishes
+// it to status readers — and the fan-out sends are non-blocking: a full
+// subscriber buffer marks that subscriber lost rather than waiting on it.
 func (j *job) deliver(i int, r wire.TrialResult) {
 	j.results[i] = r
 	j.completed.Add(1)
+	events := [2]wire.StreamEvent{{Type: "result", Index: i, Result: &r}}
+	n := 1
+	if r.RoundSeries != nil {
+		events[1] = wire.StreamEvent{Type: "round_series", Index: i, Series: r.RoundSeries}
+		n = 2
+	}
 	j.mu.Lock()
 	for _, sub := range j.subs {
-		if sub.lost.Load() {
-			continue
-		}
-		select {
-		case sub.ch <- wire.StreamEvent{Type: "result", Index: i, Result: &r}:
-		default:
-			sub.lost.Store(true)
+		for _, ev := range events[:n] {
+			if sub.lost.Load() {
+				break
+			}
+			select {
+			case sub.ch <- ev:
+			default:
+				sub.lost.Store(true)
+			}
 		}
 	}
 	j.mu.Unlock()

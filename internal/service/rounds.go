@@ -1,0 +1,48 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+
+	"dynspread/internal/wire"
+)
+
+// JobRounds is the body of GET /v1/jobs/{id}/rounds: one flight-recorder
+// round series per trial, index-aligned with the job's trial order (entries
+// are null for trials whose engine recorded nothing, e.g. zero-round
+// degenerate completions). The same series ride embedded on each
+// TrialResult — this endpoint is the cheap way to fetch ONLY the dynamics,
+// without the full result payloads.
+type JobRounds struct {
+	ID     string              `json:"id"`
+	State  JobState            `json:"state"`
+	Series []*wire.RoundSeries `json:"series"`
+}
+
+// handleJobRounds serves GET /v1/jobs/{id}/rounds. Only a done recorded job
+// has series to give: an unrecorded job answers 404 (the data never existed)
+// and a non-terminal one 409 (come back when it's done).
+func (s *Server) handleJobRounds(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown job %q", id))
+		return
+	}
+	if j.record == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: job %q was not recorded (submit with \"record\")", id))
+		return
+	}
+	st := j.Status()
+	if st.State != JobDone {
+		writeError(w, http.StatusConflict, fmt.Errorf("service: job %q is %s; round series are available once it is done", id, st.State))
+		return
+	}
+	out := JobRounds{ID: j.id, State: st.State, Series: make([]*wire.RoundSeries, len(st.Results))}
+	for i, res := range st.Results {
+		out.Series[i] = res.RoundSeries
+	}
+	writeJSON(w, http.StatusOK, out)
+}

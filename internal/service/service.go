@@ -19,6 +19,10 @@
 //	                   contract)
 //	GET  /v1/jobs/{id} job status with live completed/total progress
 //	GET  /v1/jobs/{id}/stream attach a JSONL stream to a submitted job
+//	GET  /v1/jobs/{id}/rounds per-trial round series of a done recorded job
+//	POST /v1/debug/profile    capture a pprof profile (?kind=cpu|heap,
+//	                   &seconds=N for cpu) into the profile store
+//	GET  /v1/debug/profiles   list captured profiles; /{id} downloads one
 //	GET  /v1/catalog   registered algorithms, adversaries, and scenarios
 //	GET  /v1/healthz   pure liveness: 200 whenever the process can answer
 //	GET  /v1/readyz    readiness: 503 while submissions would be refused
@@ -46,6 +50,7 @@ import (
 	"dynspread/internal/obs"
 	"dynspread/internal/registry"
 	"dynspread/internal/scenario"
+	"dynspread/internal/store"
 	"dynspread/internal/sweep"
 	"dynspread/internal/tracing"
 	"dynspread/internal/wire"
@@ -109,6 +114,11 @@ type Config struct {
 	// each carrying job, trace_id, and span_id fields so log lines correlate
 	// with spans and metrics. Nil discards.
 	Logger *slog.Logger
+	// Profiles, when non-nil, enables on-demand profile capture: POST
+	// /v1/debug/profile writes pprof blobs into this store (beside its result
+	// segments — the two planes share a directory without interfering), and
+	// GET /v1/debug/profiles lists them. Nil answers the debug endpoints 503.
+	Profiles *store.Store
 }
 
 // Runner is the execution backend of a server: wire.RunSpecs's signature.
@@ -164,6 +174,10 @@ type Server struct {
 	cancel context.CancelFunc
 	quit   chan struct{}
 	queue  chan *job
+	// profiling serializes CPU profile captures: the runtime supports one
+	// StartCPUProfile at a time, so concurrent POST /v1/debug/profile?kind=cpu
+	// requests beyond the first answer 409.
+	profiling atomic.Bool
 	// syncSem bounds inline (synchronous) job execution to JobWorkers slots
 	// so a burst of small POSTs cannot oversubscribe the host: when no slot
 	// is free the job spills to the queue and the client gets 202.
@@ -190,6 +204,7 @@ func New(cfg Config) *Server {
 		reg = obs.NewRegistry()
 	}
 	obs.RegisterProcess(reg)
+	obs.RegisterRuntime(reg)
 	runner := cfg.Runner
 	if runner == nil {
 		// Only the in-process runner registers sweep-pool metrics: an
@@ -238,6 +253,11 @@ func (s *Server) worker() {
 // once — every instance of a key shares the single execution's result (each
 // instance still counts as its own cache miss, since none was served from
 // the cache).
+//
+// A recorded job (RunRequest.Record set) bypasses the cache entirely — no
+// Get, because cached results lack round series, and no Put, because the
+// series' ring parameters are request-scoped, not spec-scoped, and a cached
+// recorded result would leak one request's series into another's answer.
 func (s *Server) runJob(j *job) {
 	defer s.release(j)
 	j.queueSpan.End()
@@ -250,6 +270,10 @@ func (s *Server) runJob(j *job) {
 	if j.span != nil {
 		ctx, runSpan = s.cfg.Tracer.Start(tracing.ContextWithRemote(s.ctx, j.span.Context()), "run")
 	}
+	record := j.record
+	if record != nil {
+		ctx = wire.WithRecord(ctx, record)
+	}
 	var (
 		missSpecs []wire.TrialSpec
 		missKeys  []string
@@ -257,10 +281,12 @@ func (s *Server) runJob(j *job) {
 	)
 	for i, spec := range j.specs {
 		key := Key(spec)
-		if res, ok := s.cache.Get(key); ok {
-			j.deliver(i, res)
-			j.cacheHits.Add(1)
-			continue
+		if record == nil {
+			if res, ok := s.cache.Get(key); ok {
+				j.deliver(i, res)
+				j.cacheHits.Add(1)
+				continue
+			}
 		}
 		j.cacheMisses.Add(1)
 		if _, dup := missByKey[key]; !dup {
@@ -278,7 +304,9 @@ func (s *Server) runJob(j *job) {
 		_, err := s.runner(ctx, missSpecs, s.cfg.Parallelism,
 			func(mi int, r wire.TrialResult) {
 				key := missKeys[mi]
-				s.cache.Put(key, r)
+				if record == nil {
+					s.cache.Put(key, r)
+				}
 				for _, i := range missByKey[key] {
 					j.deliver(i, r)
 				}
@@ -303,7 +331,7 @@ func (s *Server) runJob(j *job) {
 // the traceparent header, if any); the job's root "job" span and its
 // "queue-wait" child are opened here, under the mutex, so the job is fully
 // traced before it becomes visible to concurrent /v1/traces readers.
-func (s *Server) submit(specs []wire.TrialSpec, tctx context.Context) (*job, error) {
+func (s *Server) submit(specs []wire.TrialSpec, record *wire.RecordSpec, tctx context.Context) (*job, error) {
 	if tctx == nil {
 		tctx = context.Background()
 	}
@@ -314,6 +342,7 @@ func (s *Server) submit(specs []wire.TrialSpec, tctx context.Context) (*job, err
 	}
 	s.nextID++
 	j := newJob(fmt.Sprintf("j%06d", s.nextID), s.nextID, specs)
+	j.record = record
 	tctx, j.span = s.cfg.Tracer.Start(tctx, "job")
 	j.tctx = tctx
 	if j.span != nil {
@@ -453,12 +482,16 @@ func (s *Server) Handler() http.Handler {
 	s.route(mux, "GET /v1/jobs", "/v1/jobs", s.handleJobs)
 	s.route(mux, "GET /v1/jobs/{id}", "/v1/jobs/{id}", s.handleJob)
 	s.route(mux, "GET /v1/jobs/{id}/stream", "/v1/jobs/{id}/stream", s.handleJobStream)
+	s.route(mux, "GET /v1/jobs/{id}/rounds", "/v1/jobs/{id}/rounds", s.handleJobRounds)
 	s.route(mux, "GET /v1/catalog", "/v1/catalog", s.handleCatalog)
 	s.route(mux, "GET /v1/healthz", "/v1/healthz", s.handleHealthz)
 	s.route(mux, "GET /v1/readyz", "/v1/readyz", s.handleReadyz)
 	s.route(mux, "GET /v1/stats", "/v1/stats", s.handleStats)
 	s.route(mux, "GET /v1/metrics", "/v1/metrics", s.handleMetrics)
 	s.route(mux, "GET /v1/traces/{id}", "/v1/traces/{id}", s.handleTrace)
+	s.route(mux, "POST /v1/debug/profile", "/v1/debug/profile", s.handleProfileCapture)
+	s.route(mux, "GET /v1/debug/profiles", "/v1/debug/profiles", s.handleProfiles)
+	s.route(mux, "GET /v1/debug/profiles/{id}", "/v1/debug/profiles/{id}", s.handleProfile)
 	return mux
 }
 
@@ -537,6 +570,12 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if req.Record != nil {
+		if err := req.Record.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
 	// Join the caller's trace when the request carries a valid traceparent;
 	// a malformed header is ignored (the job roots a fresh trace), never 4xx —
 	// tracing must not be able to fail a run.
@@ -546,7 +585,7 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 			tctx = tracing.ContextWithRemote(tctx, sc)
 		}
 	}
-	j, err := s.submit(specs, tctx)
+	j, err := s.submit(specs, req.Record, tctx)
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, err)
 		return

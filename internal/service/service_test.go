@@ -393,7 +393,7 @@ func TestServiceShutdownCancelsInFlight(t *testing.T) {
 		t.Fatalf("forced shutdown returned %v", err)
 	}
 	// Submissions are refused after shutdown.
-	if _, err := h.srv.submit(nil, nil); err != errServerClosed {
+	if _, err := h.srv.submit(nil, nil, nil); err != errServerClosed {
 		t.Fatalf("post-shutdown submit: %v", err)
 	}
 	// The job reached a terminal state (canceled mid-run, or done if it was

@@ -29,6 +29,8 @@ type BroadcastConfig struct {
 	OnRound func(r int, g *graph.Graph, choices []token.ID, learned int64)
 	// Workspace, if non-nil, supplies reusable buffers (see Workspace).
 	Workspace *Workspace
+	// Recorder, if non-nil, attaches a flight recorder (see Recorder).
+	Recorder *Recorder
 }
 
 // RunBroadcast executes a local-broadcast protocol against a (possibly
@@ -42,6 +44,7 @@ func RunBroadcast(cfg BroadcastConfig) (*Result, error) {
 		seed:      cfg.Seed,
 		ws:        cfg.Workspace,
 		arrivals:  cfg.ArrivalSchedule,
+		rec:       cfg.Recorder,
 	}, &broadcastMode{cfg: cfg})
 }
 

@@ -67,6 +67,7 @@ type engineConfig struct {
 	checkStability int
 	ws             *Workspace
 	arrivals       []int
+	rec            *Recorder
 }
 
 // engineMode plugs one communication mode into the shared round loop. Every
@@ -242,6 +243,12 @@ func runEngine(cfg engineConfig, mode engineMode) (*Result, error) {
 	if cfg.checkStability > 0 {
 		stability = graph.NewStabilityTracker(cfg.checkStability)
 	}
+	if cfg.rec != nil {
+		// Baselines are taken AFTER setup so round 1's window deltas start
+		// from the post-setup state (initial insertions and workspace-reuse
+		// representation switches never pollute the series).
+		cfg.rec.start(st)
+	}
 
 	prev := graph.New(n)
 	if st.complete() { // degenerate: k == 0 or everyone starts complete
@@ -251,12 +258,14 @@ func runEngine(cfg engineConfig, mode engineMode) (*Result, error) {
 	for r := 1; r <= maxRounds; r++ {
 		// Inject this round's token arrivals before the pre-graph half, so
 		// a token arriving at round r can be committed/sent in round r.
+		injected := 0
 		for next < len(late) && late[next].round == r {
 			a := late[next]
 			next++
 			src := cfg.assign.Info(a.tok).Source
 			st.know[src].Add(a.tok)
 			mode.arriver(src).Arrive(r, a.tok)
+			injected++
 		}
 		if err := mode.commit(r); err != nil {
 			return nil, err
@@ -286,10 +295,19 @@ func runEngine(cfg engineConfig, mode engineMode) (*Result, error) {
 		}
 		st.metrics.Rounds = r
 		mode.observe(r, g, learned)
+		if cfg.rec != nil {
+			cfg.rec.observeRound(r, injected)
+		}
 		prev = g
 		if st.complete() {
+			if cfg.rec != nil {
+				cfg.rec.finish(r)
+			}
 			return &Result{Completed: true, Rounds: r, Metrics: st.metrics}, nil
 		}
+	}
+	if cfg.rec != nil {
+		cfg.rec.finish(maxRounds)
 	}
 	return &Result{Completed: false, Rounds: maxRounds, Metrics: st.metrics}, nil
 }

@@ -34,6 +34,11 @@ type UnicastConfig struct {
 	OnRound func(r int, g *graph.Graph, sent []Message, learned int64)
 	// Workspace, if non-nil, supplies reusable buffers (see Workspace).
 	Workspace *Workspace
+	// Recorder, if non-nil, attaches a flight recorder: the engine resets it
+	// at the start of the execution and fills its ring with per-round
+	// samples (see Recorder). Like Workspace, one recorder serves a worker's
+	// sequential trials.
+	Recorder *Recorder
 }
 
 // RunUnicast executes the configured protocol against the adversary until
@@ -48,6 +53,7 @@ func RunUnicast(cfg UnicastConfig) (*Result, error) {
 		checkStability: cfg.CheckStability,
 		ws:             cfg.Workspace,
 		arrivals:       cfg.ArrivalSchedule,
+		rec:            cfg.Recorder,
 	}, &unicastMode{cfg: cfg})
 }
 

@@ -1,0 +1,143 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// This file is the store's debug-profile blob plane: captured pprof
+// profiles written beside the result segments, keyed by timestamp and kind.
+// Blobs are ordinary files named profile-<unixnano>-<kind>.pprof — Open's
+// segment filter (the "segment-" prefix) never touches them, so the two
+// record planes share one directory without interfering, and a profile
+// survives daemon restarts exactly like a result does. Blob methods go to
+// the filesystem directly (no index, no segment machinery): profiles are
+// written rarely, read rarely, and never content-addressed.
+
+const profilePrefix, profileSuffix = "profile-", ".pprof"
+
+// ProfileInfo describes one stored profile blob.
+type ProfileInfo struct {
+	// ID is the blob's store key: profile-<unixnano>-<kind>.
+	ID string `json:"id"`
+	// Kind is the profile kind the blob was captured as (cpu, heap, ...).
+	Kind string `json:"kind"`
+	// Bytes is the blob's size on disk.
+	Bytes int64 `json:"bytes"`
+	// UnixNanos is the capture timestamp encoded in the ID.
+	UnixNanos int64 `json:"unix_nanos"`
+}
+
+// validProfileKind accepts short lowercase words — the pprof kinds the
+// service captures — and nothing that could escape the directory.
+func validProfileKind(kind string) bool {
+	if kind == "" || len(kind) > 32 {
+		return false
+	}
+	for _, c := range kind {
+		if c < 'a' || c > 'z' {
+			return false
+		}
+	}
+	return true
+}
+
+// parseProfileID splits a blob ID back into its timestamp and kind,
+// rejecting anything that is not exactly what PutProfile writes (which is
+// also what keeps a wire-supplied ID from naming a path outside the store).
+func parseProfileID(id string) (unixNanos int64, kind string, ok bool) {
+	rest, found := strings.CutPrefix(id, profilePrefix)
+	if !found {
+		return 0, "", false
+	}
+	tsPart, kind, found := strings.Cut(rest, "-")
+	if !found || !validProfileKind(kind) || len(tsPart) != 20 {
+		return 0, "", false
+	}
+	for _, c := range tsPart {
+		if c < '0' || c > '9' {
+			return 0, "", false
+		}
+	}
+	if _, err := fmt.Sscanf(tsPart, "%d", &unixNanos); err != nil {
+		return 0, "", false
+	}
+	return unixNanos, kind, true
+}
+
+// PutProfile stores one captured profile blob under a fresh
+// timestamp-and-kind key and returns its descriptor. Collisions (two
+// captures in the same nanosecond) retry with a bumped timestamp.
+func (s *Store) PutProfile(kind string, data []byte) (ProfileInfo, error) {
+	if !validProfileKind(kind) {
+		return ProfileInfo{}, fmt.Errorf("store: invalid profile kind %q", kind)
+	}
+	for attempt := int64(0); ; attempt++ {
+		ts := time.Now().UnixNano() + attempt
+		// %020d zero-pads the timestamp so lexicographic file order is
+		// chronological order (mirroring the segment numbering trick).
+		id := fmt.Sprintf("%s%020d-%s", profilePrefix, ts, kind)
+		f, err := os.OpenFile(filepath.Join(s.dir, id+profileSuffix), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if errors.Is(err, fs.ErrExist) && attempt < 100 {
+			continue
+		}
+		if err != nil {
+			return ProfileInfo{}, fmt.Errorf("store: %w", err)
+		}
+		if _, werr := f.Write(data); werr != nil {
+			f.Close()
+			return ProfileInfo{}, fmt.Errorf("store: %w", werr)
+		}
+		if cerr := f.Close(); cerr != nil {
+			return ProfileInfo{}, fmt.Errorf("store: %w", cerr)
+		}
+		return ProfileInfo{ID: id, Kind: kind, Bytes: int64(len(data)), UnixNanos: ts}, nil
+	}
+}
+
+// Profiles lists the stored profile blobs in chronological order.
+func (s *Store) Profiles() ([]ProfileInfo, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var out []ProfileInfo
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, profilePrefix) || !strings.HasSuffix(name, profileSuffix) {
+			continue
+		}
+		id := strings.TrimSuffix(name, profileSuffix)
+		ts, kind, ok := parseProfileID(id)
+		if !ok {
+			continue // foreign file that happens to share the naming shape
+		}
+		info, err := e.Info()
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		out = append(out, ProfileInfo{ID: id, Kind: kind, Bytes: info.Size(), UnixNanos: ts})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// ReadProfile returns the blob stored under id. Unknown and malformed IDs
+// report fs.ErrNotExist (malformed ones never touch the filesystem, which
+// is what keeps wire-supplied IDs from path-escaping the store).
+func (s *Store) ReadProfile(id string) ([]byte, error) {
+	if _, _, ok := parseProfileID(id); !ok {
+		return nil, fmt.Errorf("store: profile %q: %w", id, fs.ErrNotExist)
+	}
+	b, err := os.ReadFile(filepath.Join(s.dir, id+profileSuffix))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return b, nil
+}

@@ -253,6 +253,9 @@ type Result struct {
 	// AdversaryName is the concrete adversary's self-reported name.
 	AdversaryName string
 	Res           *sim.Result
+	// Rounds, when the trial ran with a flight recorder, is the recorded
+	// per-round series (see sim.RecorderSnapshot); nil otherwise.
+	Rounds *sim.RecorderSnapshot
 }
 
 // RunTrial resolves and executes one trial. ws, when non-nil, supplies
@@ -263,6 +266,15 @@ type Result struct {
 // that turns (scenario, algorithm, adversary) names into an engine
 // execution; the dynspread facade and the worker pool both call it.
 func RunTrial(t Trial, ws *sim.Workspace) (Result, error) {
+	return RunTrialRecorded(t, ws, nil)
+}
+
+// RunTrialRecorded is RunTrial with a flight recorder attached: rec, when
+// non-nil, records the execution's per-round series, and the returned
+// Result.Rounds carries its snapshot. Like the workspace, one recorder may
+// be reused across a worker's sequential trials (the engine resets it per
+// execution); it must not be shared between concurrent trials.
+func RunTrialRecorded(t Trial, ws *sim.Workspace, rec *sim.Recorder) (Result, error) {
 	t, err := resolveScenario(t)
 	if err != nil {
 		return Result{Trial: t}, err
@@ -324,6 +336,7 @@ func RunTrial(t Trial, ws *sim.Workspace) (Result, error) {
 			CheckStability:  t.CheckStability,
 			ArrivalSchedule: t.Arrivals,
 			Workspace:       ws,
+			Recorder:        rec,
 		}
 		if hook := t.OnGraph; hook != nil {
 			cfg.OnRound = func(r int, g *graph.Graph, _ []sim.Message, _ int64) { hook(r, g) }
@@ -332,7 +345,7 @@ func RunTrial(t Trial, ws *sim.Workspace) (Result, error) {
 		if err != nil {
 			return fail(err)
 		}
-		return Result{Trial: t, AdversaryName: a.Name(), Res: res}, nil
+		return Result{Trial: t, AdversaryName: a.Name(), Res: res, Rounds: snapshot(rec)}, nil
 	case registry.Broadcast:
 		factory, err := alg.Broadcast(p)
 		if err != nil {
@@ -355,6 +368,7 @@ func RunTrial(t Trial, ws *sim.Workspace) (Result, error) {
 			Seed:            t.Seed,
 			ArrivalSchedule: t.Arrivals,
 			Workspace:       ws,
+			Recorder:        rec,
 		}
 		if hook := t.OnGraph; hook != nil {
 			cfg.OnRound = func(r int, g *graph.Graph, _ []token.ID, _ int64) { hook(r, g) }
@@ -363,10 +377,19 @@ func RunTrial(t Trial, ws *sim.Workspace) (Result, error) {
 		if err != nil {
 			return fail(err)
 		}
-		return Result{Trial: t, AdversaryName: a.Name(), Res: res}, nil
+		return Result{Trial: t, AdversaryName: a.Name(), Res: res, Rounds: snapshot(rec)}, nil
 	default:
 		return fail(fmt.Errorf("algorithm %q has unsupported mode %v", t.Algorithm, alg.Mode))
 	}
+}
+
+// snapshot extracts a recorder's series, mapping "no recorder" to nil.
+func snapshot(rec *sim.Recorder) *sim.RecorderSnapshot {
+	if rec == nil {
+		return nil
+	}
+	s := rec.Snapshot()
+	return &s
 }
 
 // Options configures Run.
@@ -397,6 +420,12 @@ type Options struct {
 	// path records nothing, which is what keeps the alloc and ns/round
 	// gates green with tracing enabled (see TestSweepMetricsAllocFree).
 	Tracer *tracing.Tracer
+	// Recorder, when non-nil, attaches a flight recorder to every trial:
+	// each worker builds one sim.Recorder from this config (rings are
+	// per-worker and preallocated once, like workspaces) and every Result
+	// carries its trial's series in Result.Rounds. Memory cost is
+	// workers × Capacity samples, independent of trial count or length.
+	Recorder *sim.RecorderConfig
 }
 
 // Run executes the trials on a worker pool (sim.ForEach) and returns
@@ -417,6 +446,10 @@ func Run(ctx context.Context, trials []Trial, opts Options) ([]Result, error) {
 	results := make([]Result, len(trials))
 	i, err := sim.ForEach(len(trials), opts.Parallelism, func() func(i int) error {
 		ws := sim.NewWorkspace()
+		var rec *sim.Recorder
+		if opts.Recorder != nil {
+			rec = sim.NewRecorder(*opts.Recorder)
+		}
 		return func(i int) error {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -427,7 +460,7 @@ func Run(ctx context.Context, trials []Trial, opts Options) ([]Result, error) {
 				start = time.Now()
 			}
 			_, span := opts.Tracer.Start(ctx, "trial")
-			r, err := RunTrial(trials[i], ws)
+			r, err := RunTrialRecorded(trials[i], ws, rec)
 			annotateTrialSpan(span, i, r, err)
 			span.End()
 			if opts.Metrics != nil {

@@ -143,7 +143,65 @@ const (
 	// cross-product of billions of trials, which must be rejected without
 	// materializing it.
 	MaxWireTrials = 1 << 20
+	// MaxWireRecorderCapacity bounds the flight-recorder ring a request may
+	// ask for: each sweep worker preallocates one ring of this many samples,
+	// so the bound caps recorder memory at workers × capacity × ~140 B.
+	MaxWireRecorderCapacity = 1 << 16
 )
+
+// RecordSpec is the wire form of a flight-recorder request: it opts a run
+// into per-round series recording (RunRequest.Record) and sizes the
+// recorder. It lives on the REQUEST, not on TrialSpec: recording changes
+// what is observed, never what executes, so it must not perturb the
+// content-addressed trial keys the result cache and store are indexed by.
+type RecordSpec struct {
+	// Stride samples every Stride-th round plus the final round (<= 0 = 1).
+	Stride int `json:"stride,omitempty"`
+	// Capacity is the per-trial ring size: the number of most-recent samples
+	// retained (<= 0 = sim.DefaultRecorderCapacity).
+	Capacity int `json:"capacity,omitempty"`
+}
+
+// Validate rejects recorder shapes outside the wire envelope.
+func (r RecordSpec) Validate() error {
+	if r.Stride < 0 || r.Stride > MaxWireRounds {
+		return fmt.Errorf("dynspread: record spec: stride %d outside [0, %d]", r.Stride, MaxWireRounds)
+	}
+	if r.Capacity < 0 || r.Capacity > MaxWireRecorderCapacity {
+		return fmt.Errorf("dynspread: record spec: capacity %d outside [0, %d]", r.Capacity, MaxWireRecorderCapacity)
+	}
+	return nil
+}
+
+// RecorderConfig converts the wire spec into the sim layer's recorder
+// configuration.
+func (r RecordSpec) RecorderConfig() sim.RecorderConfig {
+	return sim.RecorderConfig{Stride: r.Stride, Capacity: r.Capacity}
+}
+
+// recordCtxKey carries a RecordSpec through a context. The runner signature
+// shared by the service, the cluster coordinator, and RunSpecs is
+// (ctx, specs, parallelism, onResult); recording is a per-JOB observation
+// option, so it rides the job's context rather than widening every runner.
+type recordCtxKey struct{}
+
+// WithRecord returns a context that opts runs under it into flight
+// recording. rec == nil returns ctx unchanged.
+func WithRecord(ctx context.Context, rec *RecordSpec) context.Context {
+	if rec == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, recordCtxKey{}, rec)
+}
+
+// RecordFromContext returns the RecordSpec the context carries, or nil.
+func RecordFromContext(ctx context.Context) *RecordSpec {
+	if ctx == nil {
+		return nil
+	}
+	rec, _ := ctx.Value(recordCtxKey{}).(*RecordSpec)
+	return rec
+}
 
 // Validate rejects wire specs whose shape is negative or absurdly large,
 // with an error naming the offending field. Registry-name resolution and
@@ -278,6 +336,12 @@ type RunRequest struct {
 	Grid   *GridSpec   `json:"grid,omitempty"`
 	// Async forces queued 202-style execution even for small jobs.
 	Async bool `json:"async,omitempty"`
+	// Record, when non-nil, attaches a flight recorder to every trial of the
+	// run: each TrialResult carries its per-round series (RoundSeries), and
+	// recorded jobs bypass the result cache and store (a cached result has
+	// no series, and results with observation payloads must not displace the
+	// canonical cached metrics).
+	Record *RecordSpec `json:"record,omitempty"`
 }
 
 // Specs validates the request and flattens it into the trial list to run.
@@ -330,6 +394,10 @@ type TrialResult struct {
 	AmortizedPerToken float64 `json:"amortized_per_token"`
 	// CompetitiveResidual is Messages − 1·TC(E) (Definition 1.3).
 	CompetitiveResidual float64 `json:"competitive_residual"`
+	// RoundSeries, when the trial ran under a RunRequest with Record set, is
+	// the flight recorder's per-round series in compact columnar form; nil
+	// otherwise.
+	RoundSeries *RoundSeries `json:"round_series,omitempty"`
 }
 
 // ResultFromSweep converts a sweep-layer result into the wire schema.
@@ -342,7 +410,155 @@ func ResultFromSweep(r sweep.Result) TrialResult {
 		Metrics:             r.Res.Metrics,
 		AmortizedPerToken:   r.Res.Metrics.AmortizedPerToken(r.Trial.K),
 		CompetitiveResidual: r.Res.Metrics.Competitive(1),
+		RoundSeries:         SeriesFromSnapshot(r.Rounds),
 	}
+}
+
+// RoundSeries is the wire form of a flight-recorder snapshot: a columnar,
+// compressible encoding of []sim.RoundSample. Rounds and Known — the two
+// monotone columns — are delta-encoded (first entry absolute, every later
+// entry the increase over its predecessor; at stride 1 the Rounds column is
+// all 1s after its head). The window-delta columns are carried raw, and a
+// column that is zero everywhere is omitted entirely, so a unicast series
+// pays nothing for the broadcast column and vice versa. All columns that
+// are present have length Len().
+type RoundSeries struct {
+	Stride   int   `json:"stride"`
+	Capacity int   `json:"capacity"`
+	Dropped  int64 `json:"dropped,omitempty"`
+
+	Rounds []int64 `json:"rounds"`
+	Known  []int64 `json:"known"`
+
+	Messages             []int64 `json:"messages,omitempty"`
+	Broadcasts           []int64 `json:"broadcasts,omitempty"`
+	TokenPayloads        []int64 `json:"token_payloads,omitempty"`
+	RequestPayloads      []int64 `json:"request_payloads,omitempty"`
+	CompletenessPayloads []int64 `json:"completeness_payloads,omitempty"`
+	WalkPayloads         []int64 `json:"walk_payloads,omitempty"`
+	ControlPayloads      []int64 `json:"control_payloads,omitempty"`
+	Learned              []int64 `json:"learned,omitempty"`
+	Arrived              []int64 `json:"arrived,omitempty"`
+	TC                   []int64 `json:"tc,omitempty"`
+	Removals             []int64 `json:"removals,omitempty"`
+	Promotions           []int64 `json:"promotions,omitempty"`
+	Demotions            []int64 `json:"demotions,omitempty"`
+	Nanos                []int64 `json:"nanos,omitempty"`
+}
+
+// Len returns the number of samples the series holds.
+func (s *RoundSeries) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.Rounds)
+}
+
+// column extracts one raw column, returning nil when every entry is zero.
+func column(samples []sim.RoundSample, get func(*sim.RoundSample) int64) []int64 {
+	any := false
+	for i := range samples {
+		if get(&samples[i]) != 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	out := make([]int64, len(samples))
+	for i := range samples {
+		out[i] = get(&samples[i])
+	}
+	return out
+}
+
+// deltaColumn extracts one monotone column delta-encoded: out[0] is the
+// absolute head, out[i] = col[i] − col[i−1].
+func deltaColumn(samples []sim.RoundSample, get func(*sim.RoundSample) int64) []int64 {
+	out := make([]int64, len(samples))
+	var prev int64
+	for i := range samples {
+		v := get(&samples[i])
+		out[i] = v - prev
+		prev = v
+	}
+	return out
+}
+
+// SeriesFromSnapshot encodes a recorder snapshot into wire form; a nil
+// snapshot encodes to nil.
+func SeriesFromSnapshot(snap *sim.RecorderSnapshot) *RoundSeries {
+	if snap == nil {
+		return nil
+	}
+	ss := snap.Samples
+	return &RoundSeries{
+		Stride:   snap.Stride,
+		Capacity: snap.Capacity,
+		Dropped:  snap.Dropped,
+
+		Rounds: deltaColumn(ss, func(s *sim.RoundSample) int64 { return int64(s.Round) }),
+		Known:  deltaColumn(ss, func(s *sim.RoundSample) int64 { return s.Known }),
+
+		Messages:             column(ss, func(s *sim.RoundSample) int64 { return s.Messages }),
+		Broadcasts:           column(ss, func(s *sim.RoundSample) int64 { return s.Broadcasts }),
+		TokenPayloads:        column(ss, func(s *sim.RoundSample) int64 { return s.TokenPayloads }),
+		RequestPayloads:      column(ss, func(s *sim.RoundSample) int64 { return s.RequestPayloads }),
+		CompletenessPayloads: column(ss, func(s *sim.RoundSample) int64 { return s.CompletenessPayloads }),
+		WalkPayloads:         column(ss, func(s *sim.RoundSample) int64 { return s.WalkPayloads }),
+		ControlPayloads:      column(ss, func(s *sim.RoundSample) int64 { return s.ControlPayloads }),
+		Learned:              column(ss, func(s *sim.RoundSample) int64 { return s.Learned }),
+		Arrived:              column(ss, func(s *sim.RoundSample) int64 { return s.Arrived }),
+		TC:                   column(ss, func(s *sim.RoundSample) int64 { return s.TC }),
+		Removals:             column(ss, func(s *sim.RoundSample) int64 { return s.Removals }),
+		Promotions:           column(ss, func(s *sim.RoundSample) int64 { return s.Promotions }),
+		Demotions:            column(ss, func(s *sim.RoundSample) int64 { return s.Demotions }),
+		Nanos:                column(ss, func(s *sim.RoundSample) int64 { return s.Nanos }),
+	}
+}
+
+// Samples decodes the series back into chronological sim.RoundSample
+// records — the inverse of SeriesFromSnapshot for every column present.
+// Absent (all-zero) columns decode to zeros. A nil series decodes to nil.
+func (s *RoundSeries) Samples() []sim.RoundSample {
+	if s == nil {
+		return nil
+	}
+	n := len(s.Rounds)
+	out := make([]sim.RoundSample, n)
+	raw := func(col []int64, set func(*sim.RoundSample, int64)) {
+		if len(col) != n {
+			return
+		}
+		for i := range out {
+			set(&out[i], col[i])
+		}
+	}
+	var round, known int64
+	for i := range out {
+		round += s.Rounds[i]
+		out[i].Round = int(round)
+		if i < len(s.Known) {
+			known += s.Known[i]
+			out[i].Known = known
+		}
+	}
+	raw(s.Messages, func(r *sim.RoundSample, v int64) { r.Messages = v })
+	raw(s.Broadcasts, func(r *sim.RoundSample, v int64) { r.Broadcasts = v })
+	raw(s.TokenPayloads, func(r *sim.RoundSample, v int64) { r.TokenPayloads = v })
+	raw(s.RequestPayloads, func(r *sim.RoundSample, v int64) { r.RequestPayloads = v })
+	raw(s.CompletenessPayloads, func(r *sim.RoundSample, v int64) { r.CompletenessPayloads = v })
+	raw(s.WalkPayloads, func(r *sim.RoundSample, v int64) { r.WalkPayloads = v })
+	raw(s.ControlPayloads, func(r *sim.RoundSample, v int64) { r.ControlPayloads = v })
+	raw(s.Learned, func(r *sim.RoundSample, v int64) { r.Learned = v })
+	raw(s.Arrived, func(r *sim.RoundSample, v int64) { r.Arrived = v })
+	raw(s.TC, func(r *sim.RoundSample, v int64) { r.TC = v })
+	raw(s.Removals, func(r *sim.RoundSample, v int64) { r.Removals = v })
+	raw(s.Promotions, func(r *sim.RoundSample, v int64) { r.Promotions = v })
+	raw(s.Demotions, func(r *sim.RoundSample, v int64) { r.Demotions = v })
+	raw(s.Nanos, func(r *sim.RoundSample, v int64) { r.Nanos = v })
+	return out
 }
 
 // ShardRequest is the wire form of one planned shard of a distributed
@@ -359,13 +575,16 @@ type ShardRequest struct {
 	Keys []string `json:"keys"`
 	// Trials are the specs to execute, sorted by key.
 	Trials []TrialSpec `json:"trials"`
+	// Record, when non-nil, asks the worker to flight-record every trial of
+	// the shard (propagated verbatim from the coordinator's RunRequest).
+	Record *RecordSpec `json:"record,omitempty"`
 }
 
 // RunRequest converts the shard into the POST /v1/runs body a worker
 // executes. Workers are plain spreadd daemons: sharding is invisible to
 // them, which is what lets any mix of versions and hosts serve a sweep.
 func (s ShardRequest) RunRequest() RunRequest {
-	return RunRequest{Trials: s.Trials}
+	return RunRequest{Trials: s.Trials, Record: s.Record}
 }
 
 // ShardResponse pairs a completed shard with its per-trial results,
@@ -413,10 +632,19 @@ func runSpecs(ctx context.Context, specs []TrialSpec, parallelism int, onResult 
 		trials[i] = s.sweepTrial()
 	}
 	out := make([]TrialResult, len(specs))
+	var recCfg *sim.RecorderConfig
+	if rec := RecordFromContext(ctx); rec != nil {
+		if err := rec.Validate(); err != nil {
+			return nil, err
+		}
+		cfg := rec.RecorderConfig()
+		recCfg = &cfg
+	}
 	opts := sweep.Options{
 		Parallelism: parallelism,
 		Metrics:     pm,
 		Tracer:      tr,
+		Recorder:    recCfg,
 		OnResult: func(i int, r sweep.Result) {
 			tr := ResultFromSweep(r)
 			out[i] = tr
@@ -437,6 +665,10 @@ func runSpecs(ctx context.Context, specs []TrialSpec, parallelism int, onResult 
 //	"job"      first line: the job's identity and total trial count
 //	"result"   one completed trial (Index into the job's spec list + Result);
 //	           emitted only while the stream is keeping up
+//	"round_series" the flight-recorder series of one completed trial (Index
+//	           + Series), emitted right after the trial's "result" event on
+//	           recorded jobs; consumers that only want curves can skip the
+//	           full results and collect these
 //	"overflow" the consumer fell behind the bounded send buffer; per-trial
 //	           results stop and periodic "summary" lines follow (fetch
 //	           GET /v1/jobs/{id} for the full result set)
@@ -447,10 +679,13 @@ type StreamEvent struct {
 	Type string `json:"type"`
 	// ID is the job ID (set on "job" and "done" events).
 	ID string `json:"id,omitempty"`
-	// Index is the trial's position in the job's spec list ("result" only).
+	// Index is the trial's position in the job's spec list ("result" and
+	// "round_series").
 	Index int `json:"index"`
 	// Result is the completed trial ("result" only).
 	Result *TrialResult `json:"result,omitempty"`
+	// Series is the trial's flight-recorder series ("round_series" only).
+	Series *RoundSeries `json:"series,omitempty"`
 	// State is the job state ("job" and "done").
 	State     string `json:"state,omitempty"`
 	Completed int    `json:"completed,omitempty"`
